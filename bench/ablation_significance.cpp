@@ -1,0 +1,43 @@
+// Ablation: the update-generation ("Minimum Change") threshold.
+//
+// Section 4.3: suppressing sub-half-hop changes "has the effect of reducing
+// both routing related computation and routing-related link bandwidth
+// consumption". We sweep the threshold on the busy ARPANET-like network and
+// measure the trade: update traffic and SPF work against routing quality
+// (delay, drops). The shipped value (14 units = a little under a half-hop)
+// should sit at the flat part of the quality curve while cutting update
+// volume severalfold versus an always-report network.
+
+#include <cstdio>
+
+#include "src/net/builders/builders.h"
+#include "src/sim/network.h"
+
+int main() {
+  using namespace arpanet;
+  const auto net87 = net::builders::arpanet87();
+
+  std::printf("# Significance-threshold ablation, HN-SPF, 420 kb/s peak-hour\n");
+  std::printf("# threshold  upd/trunk/s  upd-period(s)  RTT(ms)  drops/s\n");
+  for (const double threshold : {0.0, 4.0, 14.0, 29.0, 60.0}) {
+    sim::NetworkConfig cfg;
+    cfg.metric = metrics::MetricKind::kHnSpf;
+    cfg.significance_threshold_override = threshold;
+    sim::Network net{net87.topo, cfg};
+    net.add_traffic(traffic::TrafficMatrix::peak_hour(
+        net87.topo.node_count(), 420e3, util::Rng{0x51}));
+    net.run_for(util::SimTime::from_sec(120));
+    net.reset_stats();
+    net.run_for(util::SimTime::from_sec(300));
+    const auto ind = net.indicators("x");
+    std::printf("  %9.0f %12.3f %14.1f %8.0f %8.2f%s\n", threshold,
+                ind.updates_per_trunk_sec, ind.update_period_per_node_sec,
+                ind.round_trip_delay_ms, ind.packets_dropped_per_sec,
+                threshold == 14.0 ? "   <- shipped (half-hop - 1)" : "");
+  }
+  std::printf("\n# reading: 0 = report every period (max overhead); large"
+              " thresholds starve the\n# network of information (delay/drops"
+              " rise). The shipped value buys most of the\n# overhead"
+              " reduction before quality degrades.\n");
+  return 0;
+}

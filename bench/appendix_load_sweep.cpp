@@ -1,0 +1,55 @@
+// Appendix: offered-load sweep in the full simulator — the classic
+// delay/throughput knee, per metric.
+//
+// Figure 10 derives equilibrium utilization from the analytical model; this
+// bench is its discrete-event cross-check, and quantifies the paper's §7
+// claim that the HNM "raised the effective capacity of the network by an
+// estimated 25%": the offered load at which delay explodes or deliveries
+// saturate moves right under HN-SPF.
+
+#include <cstdio>
+
+#include "src/net/builders/builders.h"
+#include "src/sim/scenario.h"
+
+namespace {
+
+using namespace arpanet;
+
+void sweep(metrics::MetricKind kind) {
+  const auto net87 = net::builders::arpanet87();
+  std::printf("# %s\n", to_string(kind));
+  std::printf("# offered(kbps)  delivered  RTT(ms)  p95(ms)  drops/s  hops\n");
+  for (double offered = 250e3; offered <= 550e3 + 1; offered += 75e3) {
+    sim::ScenarioConfig cfg;
+    cfg.metric = kind;
+    cfg.offered_load_bps = offered;
+    cfg.shape = sim::TrafficShape::kPeakHour;
+    cfg.warmup = util::SimTime::from_sec(120);
+    cfg.window = util::SimTime::from_sec(240);
+    const auto r = sim::run_scenario(net87.topo, cfg, "x");
+    std::printf("  %12.0f %10.1f %8.0f %8.0f %8.2f %6.2f\n", offered / 1e3,
+                r.indicators.internode_traffic_kbps,
+                r.indicators.round_trip_delay_ms, r.indicators.delay_p95_ms,
+                r.indicators.packets_dropped_per_sec,
+                r.indicators.actual_path_hops);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Offered-load sweep, ARPANET-like topology, peak-hour"
+              " matrix\n\n");
+  for (const metrics::MetricKind kind :
+       {metrics::MetricKind::kMinHop, metrics::MetricKind::kDspf,
+        metrics::MetricKind::kHnSpf}) {
+    sweep(kind);
+  }
+  std::printf("# reading: find each metric's knee (delivered stops tracking"
+              " offered / RTT\n# explodes); the HN-SPF knee sits well to the"
+              " right of D-SPF's — the paper's\n# 'effective capacity'"
+              " improvement, measured end to end.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Three generations of ARPANET routing, end to end (paper section 2).
+//
+// The same two-region overload scenario run under:
+//   1969: distributed Bellman-Ford, instantaneous queue-length metric
+//         (RoutingAlgorithm::kDistanceVector) — transient loops, heavy
+//         table-exchange overhead;
+//   1979: SPF + the 10 s averaged delay metric (D-SPF) — loop-free but
+//         oscillating under load;
+//   1987: SPF + the revised hop-normalized metric (HN-SPF).
+//
+// Not a figure from the paper itself, but the quantitative version of its
+// historical narrative ("the performance of D-SPF was far superior to that
+// of the Bellman-Ford algorithm", section 3.3).
+
+#include <cstdio>
+
+#include "src/net/builders/builders.h"
+#include "src/sim/network.h"
+
+namespace {
+
+using namespace arpanet;
+
+struct Row {
+  const char* label;
+  routing::RoutingAlgorithm algo;
+  metrics::MetricKind metric;
+};
+
+void run(const Row& row, const net::builders::TwoRegionNet& two) {
+  sim::NetworkConfig cfg;
+  cfg.algorithm = row.algo;
+  cfg.metric = row.metric;
+  cfg.hop_limit = 64;
+  sim::Network net{two.topo, cfg};
+  traffic::TrafficMatrix m{two.topo.node_count()};
+  const double per_pair =
+      95e3 / static_cast<double>(2 * two.region1.size() * two.region2.size());
+  for (const net::NodeId a : two.region1) {
+    for (const net::NodeId b : two.region2) {
+      m.set(a, b, per_pair);
+      m.set(b, a, per_pair);
+    }
+  }
+  net.add_traffic(m);
+  net.run_for(util::SimTime::from_sec(150));
+  net.reset_stats();
+  net.run_for(util::SimTime::from_sec(300));
+
+  const auto ind = net.indicators(row.label);
+  const auto& s = net.stats();
+  std::printf("%-22s %10.1f %10.1f %8.2f %8ld %8ld %12ld\n", row.label,
+              ind.internode_traffic_kbps, ind.round_trip_delay_ms,
+              ind.actual_path_hops, s.packets_dropped_queue,
+              s.packets_dropped_loop, s.update_packets_sent);
+}
+
+}  // namespace
+
+int main() {
+  const auto two = net::builders::two_region(6);
+  std::printf("# Three routing generations, two-region overload (95 kb/s over"
+              " 2x56 kb/s trunks)\n");
+  std::printf("%-22s %10s %10s %8s %8s %8s %12s\n", "# generation", "kbps",
+              "RTT(ms)", "hops", "q-drops", "loops", "ctrl-pkts");
+  const Row rows[] = {
+      {"1969 Bellman-Ford", routing::RoutingAlgorithm::kDistanceVector,
+       metrics::MetricKind::kDspf},
+      {"1979 D-SPF", routing::RoutingAlgorithm::kSpf, metrics::MetricKind::kDspf},
+      {"1987 HN-SPF", routing::RoutingAlgorithm::kSpf, metrics::MetricKind::kHnSpf},
+  };
+  for (const Row& r : rows) run(r, two);
+  std::printf("\n# expected ordering: each generation delivers more at lower"
+              " delay with less\n# control overhead pathology than the last.\n");
+  return 0;
+}

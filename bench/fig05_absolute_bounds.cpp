@@ -1,0 +1,62 @@
+// Figure 5: "Absolute Bounds" — the revised metric (absolute routing units)
+// as a function of utilization for the four heterogeneous line types the
+// paper plots: 9.6 terrestrial, 9.6 satellite, 56 terrestrial, 56 satellite.
+//
+// Paper anchors visible in the output:
+//   * a fully utilized 9.6 line reports ~210 = 7x an idle 56 line (30),
+//     versus ~127x under the delay metric;
+//   * an idle 56 satellite (60) undercuts an idle 9.6 terrestrial (~75);
+//   * satellite and terrestrial twins meet at saturation.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/hn_metric.h"
+#include "src/net/line_type.h"
+
+int main() {
+  using namespace arpanet;
+  const auto table = core::LineParamsTable::arpanet_defaults();
+
+  struct Line {
+    const char* label;
+    net::LineType type;
+  };
+  const Line lines[] = {
+      {"9.6-terr", net::LineType::kTerrestrial9_6},
+      {"9.6-sat", net::LineType::kSatellite9_6},
+      {"56-terr", net::LineType::kTerrestrial56},
+      {"56-sat", net::LineType::kSatellite56},
+      {"112-mt", net::LineType::kMultiTrunk112},
+      {"230-terr", net::LineType::kTerrestrial230},
+  };
+
+  std::printf("# Figure 5: HN-SPF absolute bounds per line type\n");
+  std::printf("# util ");
+  std::vector<core::HnMetric> metrics;
+  for (const Line& l : lines) {
+    const auto& info = net::info(l.type);
+    metrics.emplace_back(table.for_type(l.type), info.rate,
+                         info.default_prop_delay);
+    std::printf(" %9s", l.label);
+  }
+  std::printf("   (routing units)\n");
+
+  for (int i = 0; i <= 20; ++i) {
+    const double u = static_cast<double>(i) / 20.0;
+    std::printf("%5.2f ", u);
+    for (const core::HnMetric& m : metrics) {
+      std::printf(" %9.1f", m.equilibrium_cost(u));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# bounds: ");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::printf(" %s=[%.0f,%.0f]", lines[i].label, metrics[i].min_cost(),
+                metrics[i].max_cost());
+  }
+  std::printf("\n# saturated 9.6 / idle 56-terr(zero-prop) = %.1f (paper: ~7)\n",
+              metrics[0].max_cost() / 30.0);
+  return 0;
+}

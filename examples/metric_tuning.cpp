@@ -1,0 +1,60 @@
+// metric_tuning: tailoring the HNM parameter set to a network.
+//
+// "We designed the HN-SPF module so that these values would be easy to
+// change, and envisioned that parameter sets would be tailored to the needs
+// of individual networks" (section 4.4). This example runs the same
+// overloaded network under three tunings of the 56 kb/s line-type entry:
+//
+//   * paper defaults      — flat to 50%, max 3 hops;
+//   * early-shedding      — flat only to 25%: routes divert sooner, trading
+//                           path length for queueing headroom;
+//   * near-static         — flat to 90% with a low cap: the metric barely
+//                           reacts, approaching min-hop behaviour.
+
+#include <cstdio>
+
+#include "src/net/builders/builders.h"
+#include "src/sim/network.h"
+
+namespace {
+
+using namespace arpanet;
+
+void run(const char* label, const core::LineTypeParams& t56) {
+  const auto net87 = net::builders::arpanet87();
+  sim::NetworkConfig cfg;
+  cfg.metric = metrics::MetricKind::kHnSpf;
+  cfg.line_params.set(net::LineType::kTerrestrial56, t56);
+  sim::Network net{net87.topo, cfg};
+  net.add_traffic(traffic::TrafficMatrix::peak_hour(net87.topo.node_count(),
+                                                    430e3, util::Rng{0xbeef}));
+  net.run_for(util::SimTime::from_sec(120));
+  net.reset_stats();
+  net.run_for(util::SimTime::from_sec(240));
+  const auto ind = net.indicators(label);
+  std::printf("  %-16s %10.1f %10.1f %9.2f %8.2f %9.3f\n", label,
+              ind.internode_traffic_kbps, ind.round_trip_delay_ms,
+              ind.packets_dropped_per_sec, ind.actual_path_hops,
+              ind.path_ratio());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("HNM parameter tailoring on an overloaded (430 kb/s) network\n\n");
+  std::printf("  %-16s %10s %10s %9s %8s %9s\n", "tuning", "del(kbps)",
+              "RTT(ms)", "drops/s", "hops", "ratio");
+
+  run("paper-default",
+      {.base_min = 30.0, .max_cost = 90.0, .flat_threshold = 0.50});
+  run("early-shedding",
+      {.base_min = 30.0, .max_cost = 90.0, .flat_threshold = 0.25});
+  run("near-static",
+      {.base_min = 30.0, .max_cost = 45.0, .flat_threshold = 0.90});
+
+  std::printf("\nThe default is a compromise: early shedding lengthens paths"
+              " to buy delay\nheadroom; the near-static tuning keeps paths"
+              " short but lets hot trunks\ncongest (watch the drop column),"
+              " drifting toward min-hop behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// oscillation_demo: watch the section 3.3 failure mode happen, then watch
+// the revised metric fix it.
+//
+// Builds the paper's figure-1 network (two regions joined by equal trunks A
+// and B), overloads the inter-region corridor, and narrates what each
+// metric does with it: under D-SPF the whole corridor's traffic stampedes
+// between A and B every measurement period; under HN-SPF the two trunks
+// share. The demo prints a small "strip chart" of trunk utilization.
+
+#include <cstdio>
+#include <string>
+
+#include "src/net/builders/builders.h"
+#include "src/sim/network.h"
+
+namespace {
+
+using namespace arpanet;
+
+std::string bar(double utilization) {
+  const int width = 32;
+  const int fill = std::min(width, static_cast<int>(utilization * width + 0.5));
+  std::string s(static_cast<std::size_t>(fill), '#');
+  s.resize(width, '.');
+  return s;
+}
+
+void demo(metrics::MetricKind kind) {
+  const auto two = net::builders::two_region(6);
+  sim::NetworkConfig cfg;
+  cfg.metric = kind;
+  sim::Network net{two.topo, cfg};
+
+  traffic::TrafficMatrix m{two.topo.node_count()};
+  const double per_pair =
+      95e3 / static_cast<double>(2 * two.region1.size() * two.region2.size());
+  for (const net::NodeId a : two.region1) {
+    for (const net::NodeId b : two.region2) {
+      m.set(a, b, per_pair);
+      m.set(b, a, per_pair);
+    }
+  }
+  net.add_traffic(m);
+  net.run_for(util::SimTime::from_sec(200));  // let dynamics develop
+  net.reset_stats();
+
+  std::printf("\n--- %s ---\n", to_string(kind));
+  std::printf("%5s  %-32s  %-32s\n", "t(s)", "trunk A", "trunk B");
+  const std::size_t first = 20;  // 200 s / 10 s buckets
+  for (int i = 0; i < 20; ++i) {
+    net.run_for(cfg.stats_bucket);
+    const double ua = net.link_utilization(two.link_a, first + i);
+    const double ub = net.link_utilization(two.link_b, first + i);
+    std::printf("%5d  %s  %s\n", (i + 1) * 10, bar(ua).c_str(), bar(ub).c_str());
+  }
+  const auto ind = net.indicators(to_string(kind));
+  std::printf("round-trip delay %.0f ms, drops %.2f/s\n",
+              ind.round_trip_delay_ms, ind.packets_dropped_per_sec);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Two regions, two equal 56 kb/s trunks, 95 kb/s of inter-region"
+              " traffic.\nOne trunk alone cannot carry it; the routing metric"
+              " decides whether the\ntrunks alternate (oscillate) or"
+              " cooperate.\n");
+  demo(metrics::MetricKind::kDspf);
+  demo(metrics::MetricKind::kHnSpf);
+  std::printf("\nUnder D-SPF the bars flip sides every few periods — the"
+              " paper's routing\noscillation. Under HN-SPF the movement limits"
+              " shed only the routes with\ncheap alternates, so both trunks"
+              " stay loaded and delay drops.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Convergence measurement: how fast the routing system absorbs a change.
+//
+// The paper's conclusions keep two SPF virtues: "dynamically routing around
+// down lines" and low routing overhead. This module quantifies both in the
+// simulator: after a disturbance (trunk failure/recovery, metric shift), how
+// long until every PSN holds the same cost map again, how many updates that
+// cost, and what happened to traffic meanwhile.
+
+#pragma once
+
+#include "src/sim/network.h"
+
+namespace arpanet::analysis {
+
+/// True iff every PSN's cost vector is identical (the network-wide
+/// consistency that makes destination-only forwarding loop-free).
+[[nodiscard]] bool costs_converged(const sim::Network& net);
+
+struct ConvergenceReport {
+  /// Time from the disturbance until costs_converged() first held.
+  util::SimTime settle_time = util::SimTime::zero();
+  bool converged = false;  ///< false if max_wait elapsed first
+  long updates_originated = 0;   ///< during the transient
+  long update_packets = 0;       ///< flooded transmissions during transient
+  long packets_dropped = 0;      ///< queue + unreachable + loop drops
+};
+
+/// Applies `disturb` to the network and runs until the cost maps converge
+/// (polling every `poll`) or `max_wait` passes. The network keeps running
+/// normally (traffic, measurement periods) throughout.
+[[nodiscard]] ConvergenceReport measure_convergence(
+    sim::Network& net, const std::function<void()>& disturb,
+    util::SimTime poll = util::SimTime::from_ms(100),
+    util::SimTime max_wait = util::SimTime::from_sec(120));
+
+}  // namespace arpanet::analysis

@@ -1,0 +1,60 @@
+#include "src/analysis/dynamic_trace.h"
+
+#include <algorithm>
+
+namespace arpanet::analysis {
+
+std::vector<TraceStep> trace_dspf(const NetworkResponseMap& response,
+                                  const MetricMap& dspf_map, double offered_load,
+                                  double start_cost_hops, int steps) {
+  std::vector<TraceStep> trace;
+  trace.reserve(static_cast<std::size_t>(steps));
+  double cost = start_cost_hops;
+  for (int i = 0; i < steps; ++i) {
+    const double u =
+        std::min(1.0, offered_load * response.traffic_fraction(cost));
+    trace.push_back({cost, u});
+    cost = dspf_map.normalized_cost(u);
+  }
+  return trace;
+}
+
+std::vector<TraceStep> trace_hnspf(const NetworkResponseMap& response,
+                                   const core::LineTypeParams& params,
+                                   net::LineType type, double offered_load,
+                                   int steps, bool start_at_max) {
+  const net::LineTypeInfo& ti = net::info(type);
+  core::HnMetric hnm{params, ti.rate, ti.default_prop_delay};
+  if (start_at_max) {
+    hnm.on_link_up();
+  } else {
+    hnm.reset_state(hnm.min_cost(), 0.0);
+  }
+  // Normalize by the same hop unit the response map uses: one ambient hop.
+  const double hop = params.base_min;
+
+  std::vector<TraceStep> trace;
+  trace.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double cost_hops = hnm.last_reported() / hop;
+    const double u =
+        std::min(1.0, offered_load * response.traffic_fraction(cost_hops));
+    trace.push_back({cost_hops, u});
+    hnm.update_from_utilization(u);
+  }
+  return trace;
+}
+
+double tail_amplitude(const std::vector<TraceStep>& trace) {
+  if (trace.empty()) return 0.0;
+  const std::size_t start = trace.size() / 2;
+  double lo = trace[start].cost_hops;
+  double hi = lo;
+  for (std::size_t i = start; i < trace.size(); ++i) {
+    lo = std::min(lo, trace[i].cost_hops);
+    hi = std::max(hi, trace[i].cost_hops);
+  }
+  return hi - lo;
+}
+
+}  // namespace arpanet::analysis

@@ -1,0 +1,48 @@
+// Dynamic behaviour of the SPF feedback loop (paper figures 11 and 12).
+//
+// "The dynamic behavior of the system can be traced by starting at a
+// certain traffic level and finding the corresponding reported cost on the
+// Metric map. This reported metric will result in a new traffic level which
+// can be found from the Network Response map. The dynamic behavior can be
+// found by repeating this process."
+//
+// D-SPF iterates the bare metric map (no memory, no limits): under heavy
+// load the trajectory diverges from the meta-stable equilibrium and
+// oscillates between its extremes (fig. 11). HN-SPF iterates the full HNM —
+// averaging filter, movement limits, clip — so oscillation amplitude stays
+// bounded near the equilibrium, and a new link started at Max cost eases in
+// (fig. 12).
+
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/equilibrium.h"
+
+namespace arpanet::analysis {
+
+struct TraceStep {
+  double cost_hops = 0.0;     ///< cost reported at the start of the period
+  double utilization = 0.0;   ///< utilization that cost produced
+};
+
+/// D-SPF iteration from a starting cost. Returns `steps` entries.
+[[nodiscard]] std::vector<TraceStep> trace_dspf(const NetworkResponseMap& response,
+                                                const MetricMap& dspf_map,
+                                                double offered_load,
+                                                double start_cost_hops, int steps);
+
+/// HN-SPF iteration using the full HNM dynamics. If start_at_max is true
+/// the trace begins from link-up state (ease-in); otherwise from the
+/// equilibrium-free idle state (min cost, zero average).
+[[nodiscard]] std::vector<TraceStep> trace_hnspf(const NetworkResponseMap& response,
+                                                 const core::LineTypeParams& params,
+                                                 net::LineType type,
+                                                 double offered_load, int steps,
+                                                 bool start_at_max);
+
+/// Peak-to-peak cost amplitude over the tail (last half) of a trace — the
+/// quantity the paper bounds for HN-SPF and shows unbounded for D-SPF.
+[[nodiscard]] double tail_amplitude(const std::vector<TraceStep>& trace);
+
+}  // namespace arpanet::analysis

@@ -1,0 +1,39 @@
+#include "src/analysis/equilibrium.h"
+
+#include <algorithm>
+
+namespace arpanet::analysis {
+
+double EquilibriumModel::utilization_at(double cost_hops,
+                                        double offered_load) const {
+  return std::min(1.0, offered_load * response_->traffic_fraction(cost_hops));
+}
+
+EquilibriumPoint EquilibriumModel::equilibrium(double offered_load) const {
+  double lo = metric_->normalized_cost(0.0);
+  double hi = metric_->normalized_cost(1.0);
+
+  EquilibriumPoint p;
+  if (hi - lo < 1e-12) {
+    // Static metric (min-hop): the cost is the answer.
+    p.cost_hops = lo;
+  } else {
+    // g(c) = M(u(c)) - c is monotone non-increasing; bisect its sign change.
+    for (int i = 0; i < 100; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const double g =
+          metric_->normalized_cost(utilization_at(mid, offered_load)) - mid;
+      if (g > 0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    p.cost_hops = 0.5 * (lo + hi);
+  }
+  p.utilization = utilization_at(p.cost_hops, offered_load);
+  p.oversubscribed = p.utilization >= 1.0 - 1e-9;
+  return p;
+}
+
+}  // namespace arpanet::analysis

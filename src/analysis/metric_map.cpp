@@ -1,0 +1,45 @@
+#include "src/analysis/metric_map.h"
+
+#include "src/core/mm1.h"
+
+namespace arpanet::analysis {
+
+MetricMap::MetricMap(metrics::MetricKind kind, net::LineType type,
+                     const core::LineParamsTable& params,
+                     util::SimTime prop_delay)
+    : kind_{kind}, type_{type}, prop_delay_{prop_delay},
+      rate_{net::info(type).rate} {
+  const net::LineType ref = net::LineType::kTerrestrial56;
+  switch (kind) {
+    case metrics::MetricKind::kHnSpf:
+      hn_ = std::make_unique<core::HnMetric>(params.for_type(type), rate_,
+                                             prop_delay);
+      hop_unit_ = params.for_type(ref).base_min;
+      break;
+    case metrics::MetricKind::kDspf: {
+      dspf_ = std::make_unique<metrics::DspfMetric>(rate_, prop_delay);
+      const metrics::DspfMetric ref_metric{net::info(ref).rate,
+                                           util::SimTime::zero()};
+      hop_unit_ = ref_metric.bias();
+      break;
+    }
+    case metrics::MetricKind::kMinHop:
+      hop_unit_ = 1.0;
+      break;
+  }
+}
+
+double MetricMap::cost(double utilization) const {
+  switch (kind_) {
+    case metrics::MetricKind::kHnSpf:
+      return hn_->equilibrium_cost(utilization);
+    case metrics::MetricKind::kDspf:
+      return dspf_->cost_for_delay(
+          core::delay_from_utilization(utilization, rate_, prop_delay_));
+    case metrics::MetricKind::kMinHop:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace arpanet::analysis

@@ -1,0 +1,105 @@
+#include "src/analysis/response_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/routing/spf.h"
+
+namespace arpanet::analysis {
+
+namespace {
+
+/// Traffic (bits/s of `matrix`) whose SPF route crosses `link` when `link`
+/// costs `cost_hops` and every other link costs exactly 1.
+double traffic_on_link(const net::Topology& topo,
+                       const traffic::TrafficMatrix& matrix, net::LinkId link,
+                       double cost_hops) {
+  routing::LinkCosts costs(topo.link_count(), 1.0);
+  costs[link] = cost_hops;
+  double total = 0.0;
+  for (net::NodeId src = 0; src < topo.node_count(); ++src) {
+    const routing::SpfTree tree = routing::Spf::compute(topo, src, costs);
+    // A destination's route uses `link` iff `link` lies on its tree path;
+    // walk up parents once per destination (cheap: tree depth).
+    for (net::NodeId dst = 0; dst < topo.node_count(); ++dst) {
+      if (dst == src || matrix.at(src, dst) <= 0.0) continue;
+      for (net::NodeId at = dst; at != src;) {
+        const net::LinkId pl = tree.parent_link[at];
+        if (pl == net::kInvalidLink) break;  // unreachable
+        if (pl == link) {
+          total += matrix.at(src, dst);
+          break;
+        }
+        at = topo.link(pl).from;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double NetworkResponseMap::link_traffic_at_cost(
+    const net::Topology& topo, const traffic::TrafficMatrix& matrix,
+    net::LinkId link, double cost_hops) {
+  return traffic_on_link(topo, matrix, link, cost_hops);
+}
+
+NetworkResponseMap NetworkResponseMap::build(const net::Topology& topo,
+                                             const traffic::TrafficMatrix& matrix,
+                                             const Config& cfg) {
+  if (cfg.step <= 0 || cfg.max_cost <= cfg.min_cost) {
+    throw std::invalid_argument("bad response map grid");
+  }
+  NetworkResponseMap map;
+  // Grid keys; integer keys are *evaluated* at key - step/4 so they carry
+  // "ties in favor" semantics (see header comment).
+  std::vector<double> eval_costs;
+  for (double c = cfg.min_cost; c <= cfg.max_cost + 1e-9; c += cfg.step) {
+    map.costs_.push_back(c);
+    const bool integral = std::abs(c - std::round(c)) < 1e-9;
+    eval_costs.push_back(integral ? c - cfg.step / 4.0 : c);
+  }
+
+  // Base traffic per link: reported cost of one hop, ties in favor.
+  const double base_cost = 1.0 - cfg.step / 4.0;
+  std::vector<double> base(topo.link_count(), 0.0);
+  double max_base = 0.0;
+  for (const net::Link& l : topo.links()) {
+    base[l.id] = traffic_on_link(topo, matrix, l.id, base_cost);
+    max_base = std::max(max_base, base[l.id]);
+  }
+
+  std::vector<stats::Summary> per_cost(map.costs_.size());
+  for (const net::Link& l : topo.links()) {
+    if (base[l.id] <= 0.0 || base[l.id] < cfg.min_base_fraction * max_base) {
+      continue;
+    }
+    for (std::size_t i = 0; i < map.costs_.size(); ++i) {
+      const double t = traffic_on_link(topo, matrix, l.id, eval_costs[i]);
+      per_cost[i].add(t / base[l.id]);
+    }
+  }
+
+  map.mean_.resize(map.costs_.size());
+  map.stddev_.resize(map.costs_.size());
+  for (std::size_t i = 0; i < map.costs_.size(); ++i) {
+    map.mean_[i] = per_cost[i].mean();
+    map.stddev_[i] = per_cost[i].stddev();
+  }
+  return map;
+}
+
+double NetworkResponseMap::traffic_fraction(double cost_hops) const {
+  if (costs_.empty()) throw std::logic_error("empty response map");
+  if (cost_hops <= costs_.front()) return mean_.front();
+  if (cost_hops >= costs_.back()) return mean_.back();
+  const auto it = std::ranges::upper_bound(costs_, cost_hops);
+  const std::size_t hi = static_cast<std::size_t>(it - costs_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (cost_hops - costs_[lo]) / (costs_[hi] - costs_[lo]);
+  return mean_[lo] * (1.0 - w) + mean_[hi] * w;
+}
+
+}  // namespace arpanet::analysis

@@ -1,0 +1,73 @@
+// The Network Response Map (paper figure 8).
+//
+// "Each link is taken one at a time ... We assume that all links except the
+// one under consideration report the same ambient value; this ambient value
+// can be considered a hop." For a reported cost c (in hops) the map gives
+// the traffic remaining on the average link, normalized so that base traffic
+// (cost = one hop, ties in favor) is 1.
+//
+// Sampling detail: the paper plots half-integer x to encode tie-breaking
+// ("the point at x=1.5 represents ... cost 1 with ties against / cost 2 with
+// ties in favor"). At non-integer costs no ties exist, and any c in (n, n+1)
+// yields the routes of "cost n+1, ties in favor" = "cost n, ties against".
+// We therefore sample non-integer grid points exactly, and evaluate integer
+// grid points at cost n - step/4 — i.e. "cost n, ties broken in favor of the
+// link", the paper's convention ("Ties are always broken in favor of using
+// the given link"). In particular traffic_fraction(1.0) == 1 by definition
+// of base traffic.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/stats/summary.h"
+#include "src/traffic/traffic_matrix.h"
+
+namespace arpanet::analysis {
+
+class NetworkResponseMap {
+ public:
+  struct Config {
+    double min_cost = 0.75;  ///< first sample (hops)
+    double max_cost = 9.0;   ///< last sample (hops)
+    double step = 0.25;      ///< grid step
+    /// Links whose base traffic is below this fraction of the busiest
+    /// link's base are excluded from the average (stub links carry no
+    /// reroutable traffic and only add noise).
+    double min_base_fraction = 0.0;
+  };
+
+  /// Builds the map by exhaustive per-link SPF resampling. Cost grows with
+  /// links x grid x nodes Dijkstra runs; fine for ARPANET-sized inputs.
+  [[nodiscard]] static NetworkResponseMap build(const net::Topology& topo,
+                                                const traffic::TrafficMatrix& matrix,
+                                                const Config& cfg);
+  [[nodiscard]] static NetworkResponseMap build(const net::Topology& topo,
+                                                const traffic::TrafficMatrix& matrix) {
+    return build(topo, matrix, Config{});
+  }
+
+  /// Remaining traffic fraction at reported cost `cost_hops` (linear
+  /// interpolation between samples; clamped at the ends).
+  [[nodiscard]] double traffic_fraction(double cost_hops) const;
+
+  [[nodiscard]] std::span<const double> sample_costs() const { return costs_; }
+  [[nodiscard]] std::span<const double> sample_fractions() const { return mean_; }
+  /// Across-links spread at each sample (the response differs per link).
+  [[nodiscard]] std::span<const double> sample_stddev() const { return stddev_; }
+
+  /// Traffic on one specific link at one cost, absolute bits/second —
+  /// building block shared with the shed-cost study.
+  [[nodiscard]] static double link_traffic_at_cost(const net::Topology& topo,
+                                                   const traffic::TrafficMatrix& matrix,
+                                                   net::LinkId link, double cost_hops);
+
+ private:
+  std::vector<double> costs_;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace arpanet::analysis

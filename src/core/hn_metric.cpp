@@ -1,0 +1,64 @@
+#include "src/core/hn_metric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arpanet::core {
+
+HnMetric::HnMetric(LineTypeParams params, util::DataRate rate,
+                   util::SimTime prop_delay)
+    : params_{params},
+      rate_{rate},
+      prop_delay_{prop_delay},
+      min_cost_{params.min_cost(prop_delay)} {
+  if (!(params.base_min > 0) || !(params.max_cost > params.base_min) ||
+      !(params.flat_threshold > 0) || !(params.flat_threshold < 1)) {
+    throw std::invalid_argument("invalid LineTypeParams");
+  }
+  on_link_up();
+}
+
+void HnMetric::on_link_up() {
+  // "When a link comes up it starts with its highest cost. Routing will
+  // converge to its equilibrium slowly by pulling in a little more traffic
+  // with each routing period."
+  last_reported_ = params_.max_cost;
+  last_average_ = 1.0;
+}
+
+void HnMetric::reset_state(double reported_cost, double average_utilization) {
+  last_reported_ = std::clamp(reported_cost, min_cost_, params_.max_cost);
+  last_average_ = std::clamp(average_utilization, 0.0, 1.0);
+}
+
+double HnMetric::update_from_delay(util::SimTime measured_delay) {
+  return update_from_utilization(
+      utilization_from_delay(measured_delay, rate_, prop_delay_));
+}
+
+double HnMetric::update_from_utilization(double sample_utilization) {
+  const double sample = std::clamp(sample_utilization, 0.0, 1.0);
+  last_average_ = 0.5 * sample + 0.5 * last_average_;
+  const double raw = params_.raw_cost(last_average_);
+  const double limited = limit_movement(raw);
+  const double revised = clip(limited);
+  last_reported_ = revised;
+  return revised;
+}
+
+double HnMetric::limit_movement(double raw) const {
+  const double hi = last_reported_ + params_.up_limit();
+  const double lo = last_reported_ - params_.down_limit();
+  return std::clamp(raw, lo, hi);
+}
+
+double HnMetric::clip(double cost) const {
+  return std::clamp(cost, min_cost_, params_.max_cost);
+}
+
+double HnMetric::equilibrium_cost(double utilization) const {
+  return std::clamp(params_.raw_cost(std::clamp(utilization, 0.0, 1.0)),
+                    min_cost_, params_.max_cost);
+}
+
+}  // namespace arpanet::core

@@ -1,0 +1,80 @@
+// The HN-SPF Module (HNM) — the paper's contribution.
+//
+// One HnMetric instance holds the per-link state the pseudocode of figure 3
+// stores ("Last'Average" and "Last'Reported") and applies the full revised
+// transform each measurement period:
+//
+//   Sample_Utilization  = delay_to_utilization[Measured_Delay]     (M/M/1)
+//   Average_Utilization = .5*Sample_Utilization + .5*Last_Average
+//   Raw_Cost     = Slope[Line_Type]*Average_Utilization + Offset[Line_Type]
+//   Limited_Cost = Limit_Movement(Raw_Cost, Last_Reported, Line_Type)
+//   Revised_Cost = Clip(Limited_Cost, Max[Line_Type], Min[Line_Type])
+//
+// Movement limiting is asymmetric (down limit one unit below the up limit)
+// so that a cost oscillating around equilibrium "marches up one unit" per
+// cycle, spreading the reported costs of equally-utilized lines and
+// defeating the epsilon problem (section 5.4). A link that comes up starts
+// at its maximum cost and is eased in by the down limit (section 5.4).
+
+#pragma once
+
+#include "src/core/line_params.h"
+#include "src/core/mm1.h"
+#include "src/util/units.h"
+
+namespace arpanet::core {
+
+class HnMetric {
+ public:
+  /// `params` are the line-type normalization constants; `rate` and
+  /// `prop_delay` are the link's configured values (used for the M/M/1
+  /// inversion and the propagation-sensitive minimum).
+  HnMetric(LineTypeParams params, util::DataRate rate, util::SimTime prop_delay);
+
+  /// Full per-period transform from a measured average packet delay.
+  /// Returns the revised cost to report.
+  double update_from_delay(util::SimTime measured_delay);
+
+  /// Same transform entered after the M/M/1 step — used by the analysis
+  /// layer, which works directly in utilization space (section 5).
+  double update_from_utilization(double sample_utilization);
+
+  /// Link-up behaviour: the next reports start from Max and are pulled in
+  /// gradually by the down-movement limit ("it gently eases in new lines").
+  void on_link_up();
+
+  /// Analysis/test hook: places the stored state at a chosen point (e.g. to
+  /// start a dynamic trace from a given reported cost). Values are clipped
+  /// to the legal ranges.
+  void reset_state(double reported_cost, double average_utilization);
+
+  [[nodiscard]] double last_reported() const { return last_reported_; }
+  [[nodiscard]] double last_average_utilization() const { return last_average_; }
+
+  /// Bounds actually in force for this link (min is propagation-adjusted).
+  [[nodiscard]] double min_cost() const { return min_cost_; }
+  [[nodiscard]] double max_cost() const { return params_.max_cost; }
+  /// Update-generation threshold ("a little less than a half-hop").
+  [[nodiscard]] double change_threshold() const { return params_.change_threshold(); }
+
+  [[nodiscard]] const LineTypeParams& params() const { return params_; }
+
+  /// The equilibrium metric map: the cost the transform settles on if the
+  /// averaged utilization is held at `utilization` — i.e. raw cost clipped
+  /// to [min, max] with no movement history. Static view used for figures
+  /// 4, 5 and 9.
+  [[nodiscard]] double equilibrium_cost(double utilization) const;
+
+ private:
+  [[nodiscard]] double limit_movement(double raw) const;
+  [[nodiscard]] double clip(double cost) const;
+
+  LineTypeParams params_;
+  util::DataRate rate_;
+  util::SimTime prop_delay_;
+  double min_cost_;
+  double last_average_ = 0.0;
+  double last_reported_;
+};
+
+}  // namespace arpanet::core

@@ -1,0 +1,26 @@
+#include "src/core/line_params.h"
+
+namespace arpanet::core {
+
+LineParamsTable LineParamsTable::arpanet_defaults() {
+  LineParamsTable t;
+  // 9.6 kb/s: idle cost ~2.3 hops relative to a 56 kb/s hop (its service
+  // time is ~6x longer), max 210 = 3x its own zero-prop min, and 210/30 = 7x
+  // an idle 56 kb/s line — the paper's stated bound. Slow lines begin
+  // shedding earlier (lower flat threshold) because their queues hurt more.
+  t.set(net::LineType::kTerrestrial9_6, {.base_min = 70.0, .max_cost = 210.0, .flat_threshold = 0.40});
+  t.set(net::LineType::kSatellite9_6, {.base_min = 70.0, .max_cost = 210.0, .flat_threshold = 0.40});
+  // 19.2 kb/s: between the 9.6 tails and the 56k backbone.
+  t.set(net::LineType::kTerrestrial19_2, {.base_min = 50.0, .max_cost = 150.0, .flat_threshold = 0.45});
+  // 56 kb/s: the paper's running example — min 30, max 90, flat to 50%.
+  t.set(net::LineType::kTerrestrial56, {.base_min = 30.0, .max_cost = 90.0, .flat_threshold = 0.50});
+  t.set(net::LineType::kSatellite56, {.base_min = 30.0, .max_cost = 90.0, .flat_threshold = 0.50});
+  // Faster multi-trunk/high-speed types: slightly cheaper hops, later
+  // shedding (they tolerate higher utilization before queueing bites).
+  t.set(net::LineType::kMultiTrunk112, {.base_min = 28.0, .max_cost = 84.0, .flat_threshold = 0.55});
+  t.set(net::LineType::kMultiTrunk224, {.base_min = 27.0, .max_cost = 81.0, .flat_threshold = 0.58});
+  t.set(net::LineType::kTerrestrial230, {.base_min = 26.0, .max_cost = 78.0, .flat_threshold = 0.60});
+  return t;
+}
+
+}  // namespace arpanet::core

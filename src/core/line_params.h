@@ -1,0 +1,103 @@
+// Per-line-type normalization parameters of the revised (HN-SPF) metric.
+//
+// The HNM's transformations "are parameterized based on the link's
+// line-type" (paper section 4.1). For each type the table holds the anchors
+// the paper states for the ARPANET/MILNET tuning:
+//
+//   * base_min  — the reported cost of an idle zero-propagation-delay line
+//                 of this type (the "hop" value; 30 for 56 kb/s).
+//   * max_cost  — absolute upper bound, "approximately three times the
+//                 minimum value for a zero-propagation-delay line of the
+//                 same type" (section 4.4), so a link can look at most two
+//                 additional hops worse than idle.
+//   * flat_threshold — utilization below which the cost stays at the
+//                 minimum ("it is 50% for a 56 kb/s terrestrial link",
+//                 section 4.2); above it the cost rises linearly, reaching
+//                 max_cost at 100% utilization.
+//
+// From these, the linear normalization Raw = Slope * Utilization + Offset of
+// the pseudocode (figure 3) is derived, along with the movement limits of
+// section 4.3:
+//
+//   * up_limit    = base_min/2 + 1   ("a little more than a half-hop")
+//   * down_limit  = up_limit - 1     ("the maximum down value is one unit
+//                                     less than the maximum up value", the
+//                                     march-up that defeats the epsilon
+//                                     problem)
+//   * change_threshold = base_min/2 - 1  ("a little less than a half-hop")
+//
+// The per-link minimum is "a slowly increasing function of the configured
+// propagation delay" (section 4.2) — min_cost(prop) below — which is what
+// prices an idle satellite line above its terrestrial twin while capping the
+// penalty at 2x so "a 56 kb/s satellite trunk can appear no more than twice
+// as expensive as its terrestrial counterpart" (section 4.4).
+//
+// The paper stresses that these values were tuned for the ARPANET/MILNET and
+// "are not necessarily appropriate for all network topologies"; the table is
+// therefore a mutable value type with arpanet_defaults() as the published
+// tuning.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+
+#include "src/net/line_type.h"
+#include "src/util/units.h"
+
+namespace arpanet::core {
+
+struct LineTypeParams {
+  double base_min = 30.0;
+  double max_cost = 90.0;
+  double flat_threshold = 0.5;
+
+  /// Slope/Offset of the pseudocode's linear transform, chosen so the raw
+  /// cost equals base_min at flat_threshold and max_cost at utilization 1.
+  /// (Below the threshold the clip against the minimum produces the flat
+  /// region.)
+  [[nodiscard]] double slope() const {
+    return (max_cost - base_min) / (1.0 - flat_threshold);
+  }
+  [[nodiscard]] double offset() const { return max_cost - slope(); }
+
+  /// Raw (unclipped, unlimited) cost for an averaged utilization.
+  [[nodiscard]] double raw_cost(double utilization) const {
+    return slope() * utilization + offset();
+  }
+
+  /// Per-link lower bound: grows linearly with configured propagation delay
+  /// from base_min at 0 ms to 2*base_min at a geostationary one-way hop
+  /// (130 ms), capped there so an idle satellite line costs at most twice
+  /// its terrestrial twin and the rising portion of the curve always reaches
+  /// the same max_cost.
+  [[nodiscard]] double min_cost(util::SimTime prop_delay) const {
+    const double factor = 1.0 + std::min(prop_delay.ms(), 130.0) / 130.0;
+    return base_min * factor;
+  }
+
+  [[nodiscard]] double up_limit() const { return base_min / 2.0 + 1.0; }
+  [[nodiscard]] double down_limit() const { return up_limit() - 1.0; }
+  [[nodiscard]] double change_threshold() const { return base_min / 2.0 - 1.0; }
+};
+
+/// The full 8-slot parameter table (6 populated line types in this build).
+class LineParamsTable {
+ public:
+  /// The tuning documented in DESIGN.md section 5, reproducing the paper's
+  /// stated anchors (fig. 5): e.g. a saturated 9.6 kb/s line reports ~7x an
+  /// idle 56 kb/s line (210/30) instead of D-SPF's ~127x.
+  [[nodiscard]] static LineParamsTable arpanet_defaults();
+
+  [[nodiscard]] const LineTypeParams& for_type(net::LineType t) const {
+    return params_[static_cast<std::size_t>(t)];
+  }
+  void set(net::LineType t, LineTypeParams p) {
+    params_[static_cast<std::size_t>(t)] = p;
+  }
+
+ private:
+  std::array<LineTypeParams, net::kLineTypeCount> params_{};
+};
+
+}  // namespace arpanet::core

@@ -1,0 +1,27 @@
+#include "src/core/mm1.h"
+
+#include <algorithm>
+
+namespace arpanet::core {
+
+util::SimTime mean_service_time(util::DataRate rate) {
+  return rate.transmission_time(util::kAveragePacketBits);
+}
+
+double utilization_from_delay(util::SimTime measured_delay, util::DataRate rate,
+                              util::SimTime prop_delay) {
+  const double s = mean_service_time(rate).sec();
+  const double system_time = (measured_delay - prop_delay).sec();
+  if (system_time <= s) return 0.0;
+  const double rho = 1.0 - s / system_time;
+  return std::min(rho, kMaxUtilization);
+}
+
+util::SimTime delay_from_utilization(double rho, util::DataRate rate,
+                                     util::SimTime prop_delay) {
+  const double clamped = std::clamp(rho, 0.0, kMaxUtilization);
+  const double s = mean_service_time(rate).sec();
+  return prop_delay + util::SimTime::from_sec(s / (1.0 - clamped));
+}
+
+}  // namespace arpanet::core

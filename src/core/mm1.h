@@ -1,0 +1,42 @@
+// M/M/1 delay <-> utilization conversions.
+//
+// The HNM's first step converts the measured average packet delay on a link
+// into a utilization estimate using "a simple M/M/1 queueing model ... with
+// the service time being the network-wide average packet size (600
+// bits/packet) divided by the trunk's bandwidth" (paper section 4.1). The
+// same model, run the other way, produces the delay a utilization level
+// implies — used by the D-SPF metric map and throughout section 5's
+// equilibrium analysis ("all utilization-to-delay and delay-to-utilization
+// transformations are based on an M/M/1 queueing model").
+//
+// Model: measured delay D = P + S / (1 - rho), where P is propagation delay,
+// S = 600 bits / bandwidth is the mean service (transmission) time, and rho
+// is utilization. S/(1-rho) is the M/M/1 mean system time (queueing +
+// service).
+
+#pragma once
+
+#include "src/util/units.h"
+
+namespace arpanet::core {
+
+/// Utilization is clamped to this ceiling when inverting the model, since a
+/// measured delay can exceed anything a stable M/M/1 queue produces.
+inline constexpr double kMaxUtilization = 0.999;
+
+/// Mean service time of an average (600-bit) packet on a line of the given
+/// rate.
+[[nodiscard]] util::SimTime mean_service_time(util::DataRate rate);
+
+/// rho from measured delay. Returns 0 when the delay is at or below the
+/// idle floor (propagation + one service time); clamps to kMaxUtilization.
+[[nodiscard]] double utilization_from_delay(util::SimTime measured_delay,
+                                            util::DataRate rate,
+                                            util::SimTime prop_delay);
+
+/// Mean measured delay implied by a utilization level (inverse of the
+/// above). rho is clamped to [0, kMaxUtilization].
+[[nodiscard]] util::SimTime delay_from_utilization(double rho, util::DataRate rate,
+                                                   util::SimTime prop_delay);
+
+}  // namespace arpanet::core

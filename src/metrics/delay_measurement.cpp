@@ -1,0 +1,38 @@
+#include "src/metrics/delay_measurement.h"
+
+#include "src/core/mm1.h"
+
+namespace arpanet::metrics {
+
+DelayMeasurement::DelayMeasurement(util::DataRate rate, util::SimTime prop_delay)
+    : idle_floor_{core::mean_service_time(rate) + prop_delay},
+      prop_delay_{prop_delay} {}
+
+void DelayMeasurement::record_packet(util::SimTime queue_and_processing,
+                                     util::SimTime transmission) {
+  delay_sum_ += queue_and_processing + transmission + prop_delay_;
+  busy_sum_ += transmission;
+  ++packets_;
+}
+
+PeriodMeasurement DelayMeasurement::end_period(util::SimTime period_length) {
+  PeriodMeasurement m;
+  if (packets_ == 0) {
+    // An idle line reports its floor; the metric's bias/minimum then applies.
+    m.avg_delay = idle_floor_;
+  } else {
+    m.avg_delay = util::SimTime::from_us(delay_sum_.us() / packets_);
+  }
+  m.busy_fraction = period_length > util::SimTime::zero()
+                        ? static_cast<double>(busy_sum_.us()) /
+                              static_cast<double>(period_length.us())
+                        : 0.0;
+  m.packets = packets_;
+
+  delay_sum_ = util::SimTime::zero();
+  busy_sum_ = util::SimTime::zero();
+  packets_ = 0;
+  return m;
+}
+
+}  // namespace arpanet::metrics

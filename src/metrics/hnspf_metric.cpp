@@ -1,0 +1,2 @@
+// HnSpfMetric is header-only; see hnspf_metric.h.
+#include "src/metrics/hnspf_metric.h"

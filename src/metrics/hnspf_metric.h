@@ -1,0 +1,38 @@
+// HN-SPF link metric: the LinkMetric adapter over the HNM (core::HnMetric).
+//
+// The HNM "takes the value of the measured delay and transforms its value"
+// before it reaches the flooding subsystem (paper figure 2); this adapter is
+// exactly that insertion point in the simulator's update path.
+
+#pragma once
+
+#include "src/core/hn_metric.h"
+#include "src/metrics/link_metric.h"
+
+namespace arpanet::metrics {
+
+class HnSpfMetric final : public LinkMetric {
+ public:
+  HnSpfMetric(core::LineTypeParams params, util::DataRate rate,
+              util::SimTime prop_delay)
+      : hnm_{params, rate, prop_delay} {}
+
+  double on_period(const PeriodMeasurement& m) override {
+    return hnm_.update_from_delay(m.avg_delay);
+  }
+
+  /// New links advertise their maximum cost and ease in (section 5.4).
+  [[nodiscard]] double initial_cost() const override { return hnm_.max_cost(); }
+  [[nodiscard]] double change_threshold() const override {
+    return hnm_.change_threshold();
+  }
+  [[nodiscard]] bool threshold_decays() const override { return false; }
+  void on_link_up() override { hnm_.on_link_up(); }
+
+  [[nodiscard]] const core::HnMetric& hnm() const { return hnm_; }
+
+ private:
+  core::HnMetric hnm_;
+};
+
+}  // namespace arpanet::metrics

@@ -1,0 +1,74 @@
+// Link-metric interface.
+//
+// The routing revision this library reproduces changed *only* the function
+// from per-period link measurements to the reported cost; everything else
+// (SPF, flooding, forwarding) is shared. This interface is that seam: the
+// simulator owns one LinkMetric per simplex link and calls on_period() every
+// measurement period (10 s in the ARPANET) with that period's measurements.
+//
+// Implementations: MinHopMetric (static baseline), DspfMetric (the 1979
+// delay metric), HnSpfMetric (the July 1987 revision, wrapping core::HnMetric).
+
+#pragma once
+
+#include <memory>
+
+#include "src/net/topology.h"
+#include "src/util/units.h"
+
+namespace arpanet::metrics {
+
+/// What the PSN measured on one outgoing link over one measurement period.
+struct PeriodMeasurement {
+  /// Average per-packet delay: measured queueing+processing plus tabled
+  /// transmission and propagation (paper section 2.2). For an idle period
+  /// this is the idle floor (transmission of an average packet + propagation).
+  util::SimTime avg_delay;
+  /// Fraction of the period the transmitter was busy. Kept for ablation
+  /// studies; the ARPANET metrics derive utilization from delay instead.
+  double busy_fraction = 0.0;
+  /// Packets forwarded during the period.
+  long packets = 0;
+};
+
+class LinkMetric {
+ public:
+  virtual ~LinkMetric() = default;
+
+  LinkMetric(const LinkMetric&) = delete;
+  LinkMetric& operator=(const LinkMetric&) = delete;
+
+  /// Per-period transform; returns the candidate cost to report.
+  virtual double on_period(const PeriodMeasurement& m) = 0;
+
+  /// Cost to advertise before any measurement exists (link just came up).
+  [[nodiscard]] virtual double initial_cost() const = 0;
+
+  /// Significance threshold for generating an update (routing units);
+  /// the filter may additionally decay it (D-SPF style).
+  [[nodiscard]] virtual double change_threshold() const = 0;
+
+  /// Whether the significance threshold decays when unmet (true for D-SPF).
+  [[nodiscard]] virtual bool threshold_decays() const = 0;
+
+  /// Link went down and came back up; reset history accordingly.
+  virtual void on_link_up() = 0;
+
+ protected:
+  LinkMetric() = default;
+};
+
+/// Which metric family a simulation runs. Order matches the paper's
+/// narrative: the min-hop strawman, the 1979 delay metric, the revision.
+enum class MetricKind { kMinHop, kDspf, kHnSpf };
+
+[[nodiscard]] constexpr const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kMinHop: return "min-hop";
+    case MetricKind::kDspf: return "D-SPF";
+    case MetricKind::kHnSpf: return "HN-SPF";
+  }
+  return "?";
+}
+
+}  // namespace arpanet::metrics

@@ -1,0 +1,25 @@
+#include "src/metrics/metric_factory.h"
+
+#include <stdexcept>
+
+#include "src/metrics/dspf_metric.h"
+#include "src/metrics/hnspf_metric.h"
+#include "src/metrics/minhop_metric.h"
+
+namespace arpanet::metrics {
+
+std::unique_ptr<LinkMetric> make_metric(MetricKind kind, const net::Link& link,
+                                        const core::LineParamsTable& params) {
+  switch (kind) {
+    case MetricKind::kMinHop:
+      return std::make_unique<MinHopMetric>();
+    case MetricKind::kDspf:
+      return std::make_unique<DspfMetric>(link.rate, link.prop_delay);
+    case MetricKind::kHnSpf:
+      return std::make_unique<HnSpfMetric>(params.for_type(link.type), link.rate,
+                                           link.prop_delay);
+  }
+  throw std::invalid_argument("unknown MetricKind");
+}
+
+}  // namespace arpanet::metrics

@@ -1,0 +1,16 @@
+// Construction of per-link metric instances.
+
+#pragma once
+
+#include <memory>
+
+#include "src/core/line_params.h"
+#include "src/metrics/link_metric.h"
+
+namespace arpanet::metrics {
+
+/// Creates the metric instance for one simplex link.
+[[nodiscard]] std::unique_ptr<LinkMetric> make_metric(
+    MetricKind kind, const net::Link& link, const core::LineParamsTable& params);
+
+}  // namespace arpanet::metrics

@@ -1,0 +1,2 @@
+// MinHopMetric is header-only; see minhop_metric.h.
+#include "src/metrics/minhop_metric.h"

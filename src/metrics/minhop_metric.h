@@ -1,0 +1,30 @@
+// Min-hop: the static, traffic-insensitive baseline of section 5.
+//
+// Every link always costs one hop-unit regardless of load. The paper uses it
+// as one end of the spectrum HN-SPF sits inside ("HN-SPF lies between the
+// extremes of min-hop routing and D-SPF"): it never sheds traffic, so a link
+// becomes oversubscribed as soon as offered load reaches capacity (fig. 10).
+
+#pragma once
+
+#include "src/metrics/link_metric.h"
+
+namespace arpanet::metrics {
+
+class MinHopMetric final : public LinkMetric {
+ public:
+  explicit MinHopMetric(double hop_cost = 1.0) : hop_cost_{hop_cost} {}
+
+  double on_period(const PeriodMeasurement&) override { return hop_cost_; }
+  [[nodiscard]] double initial_cost() const override { return hop_cost_; }
+  /// Effectively infinite: the cost never changes, so no update is ever
+  /// significant (the 50 s reliability updates still flow).
+  [[nodiscard]] double change_threshold() const override { return 1e30; }
+  [[nodiscard]] bool threshold_decays() const override { return false; }
+  void on_link_up() override {}
+
+ private:
+  double hop_cost_;
+};
+
+}  // namespace arpanet::metrics

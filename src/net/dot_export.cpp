@@ -1,0 +1,45 @@
+#include "src/net/dot_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace arpanet::net {
+
+void write_dot(std::ostream& out, const Topology& topo,
+               const TrunkLabeler& labeler) {
+  out << "graph arpanet {\n"
+      << "  layout=neato;\n  overlap=false;\n  splines=true;\n"
+      << "  node [shape=box, fontsize=9, height=0.2, width=0.4];\n"
+      << "  edge [fontsize=8];\n";
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    out << "  \"" << topo.node_name(n) << "\";\n";
+  }
+  for (std::size_t l = 0; l < topo.link_count(); l += 2) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    const LineTypeInfo& ti = info(link.type);
+    out << "  \"" << topo.node_name(link.from) << "\" -- \""
+        << topo.node_name(link.to) << "\" [";
+    if (ti.satellite) out << "style=dashed, ";
+    if (ti.rate.kilobits_per_sec() < 56.0) {
+      out << "penwidth=0.5, ";
+    } else if (ti.rate.kilobits_per_sec() > 56.0) {
+      out << "penwidth=2.0, ";
+    } else {
+      out << "penwidth=1.0, ";
+    }
+    if (labeler) {
+      const std::string label = labeler(link);
+      if (!label.empty()) out << "label=\"" << label << "\", ";
+    }
+    out << "tooltip=\"" << to_string(link.type) << "\"];\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const Topology& topo, const TrunkLabeler& labeler) {
+  std::ostringstream os;
+  write_dot(os, topo, labeler);
+  return os.str();
+}
+
+}  // namespace arpanet::net

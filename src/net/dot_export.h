@@ -1,0 +1,27 @@
+// Graphviz export of a topology (and optionally live link state).
+//
+// `dot -Tsvg` of the output gives the paper-style network map: trunk style
+// encodes line type (dashed = satellite, thin = 9.6 kb/s), and an optional
+// per-link annotation callback adds costs or utilizations as edge labels.
+
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "src/net/topology.h"
+
+namespace arpanet::net {
+
+/// Returns a label for a trunk (called with the forward simplex link), or
+/// an empty string for no label.
+using TrunkLabeler = std::function<std::string(const Link&)>;
+
+void write_dot(std::ostream& out, const Topology& topo,
+               const TrunkLabeler& labeler = nullptr);
+
+[[nodiscard]] std::string to_dot(const Topology& topo,
+                                 const TrunkLabeler& labeler = nullptr);
+
+}  // namespace arpanet::net

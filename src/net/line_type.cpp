@@ -1,0 +1,47 @@
+#include "src/net/line_type.h"
+
+#include <array>
+
+namespace arpanet::net {
+
+namespace {
+
+using util::DataRate;
+using util::SimTime;
+
+// Geostationary one-way hop (ground-satellite-ground): ~130 ms. Terrestrial
+// default: a medium-length ARPANET trunk (~1000 km of cable plus microwave
+// repeaters), ~10 ms.
+constexpr std::int64_t kSatelliteUs = 130'000;
+constexpr std::int64_t kTerrestrialUs = 10'000;
+
+constexpr std::array<LineTypeInfo, kLineTypeCount> kTable{{
+    {LineType::kTerrestrial9_6, "9.6kb-terrestrial", DataRate::kbps(9.6), false,
+     SimTime::from_us(kTerrestrialUs)},
+    {LineType::kSatellite9_6, "9.6kb-satellite", DataRate::kbps(9.6), true,
+     SimTime::from_us(kSatelliteUs)},
+    {LineType::kTerrestrial19_2, "19.2kb-terrestrial", DataRate::kbps(19.2), false,
+     SimTime::from_us(kTerrestrialUs)},
+    {LineType::kTerrestrial56, "56kb-terrestrial", DataRate::kbps(56.0), false,
+     SimTime::from_us(kTerrestrialUs)},
+    {LineType::kSatellite56, "56kb-satellite", DataRate::kbps(56.0), true,
+     SimTime::from_us(kSatelliteUs)},
+    {LineType::kMultiTrunk112, "112kb-multitrunk", DataRate::kbps(112.0), false,
+     SimTime::from_us(kTerrestrialUs)},
+    {LineType::kMultiTrunk224, "224kb-multitrunk", DataRate::kbps(224.0), false,
+     SimTime::from_us(kTerrestrialUs)},
+    {LineType::kTerrestrial230, "230.4kb-terrestrial", DataRate::kbps(230.4), false,
+     SimTime::from_us(kTerrestrialUs)},
+}};
+
+}  // namespace
+
+const LineTypeInfo& info(LineType type) {
+  return kTable[static_cast<std::size_t>(type)];
+}
+
+std::string_view to_string(LineType type) { return info(type).name; }
+
+const LineTypeInfo* all_line_types() { return kTable.data(); }
+
+}  // namespace arpanet::net

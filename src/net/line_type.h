@@ -1,0 +1,56 @@
+// Line types.
+//
+// The ARPANET assigned each logical link one of up to eight "line types"
+// according to the combined bandwidth of the trunks making it up and whether
+// the medium was terrestrial or satellite (paper section 4.1). The HNM's
+// normalization tables (src/core/line_params.h) are keyed by this type.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/units.h"
+
+namespace arpanet::net {
+
+/// The eight line-type slots the PSN allowed (paper section 4.1): the four
+/// the paper's figures use (9.6/56 kb/s, terrestrial/satellite), a 19.2 kb/s
+/// grade, and three faster types exercising the "combined bandwidth of the
+/// trunks making up the link" rule (2x56 and 4x56 multi-trunk lines and a
+/// 230.4 kb/s line).
+enum class LineType : std::uint8_t {
+  kTerrestrial9_6,
+  kSatellite9_6,
+  kTerrestrial19_2,
+  kTerrestrial56,
+  kSatellite56,
+  kMultiTrunk112,
+  kMultiTrunk224,
+  kTerrestrial230,
+};
+
+inline constexpr int kLineTypeCount = 8;
+
+/// Static, configuration-time properties of a line type (as opposed to the
+/// HNM routing parameters, which live in core::LineTypeParams).
+struct LineTypeInfo {
+  LineType type;
+  std::string_view name;
+  util::DataRate rate;
+  bool satellite;
+  /// Default one-way propagation delay for a link of this type; individual
+  /// links may override (terrestrial delay depends on trunk mileage).
+  util::SimTime default_prop_delay;
+};
+
+/// Lookup of the static properties above. Never fails: every enumerator has
+/// an entry.
+[[nodiscard]] const LineTypeInfo& info(LineType type);
+
+[[nodiscard]] std::string_view to_string(LineType type);
+
+/// All line types, for parameterized tests and sweeps.
+[[nodiscard]] const LineTypeInfo* all_line_types();  // kLineTypeCount entries
+
+}  // namespace arpanet::net

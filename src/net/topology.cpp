@@ -1,0 +1,69 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace arpanet::net {
+
+NodeId Topology::add_node(std::string name) {
+  if (std::ranges::find(node_names_, name) != node_names_.end()) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  const auto id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(std::move(name));
+  out_links_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_duplex(NodeId a, NodeId b, LineType type) {
+  return add_duplex(a, b, type, info(type).default_prop_delay);
+}
+
+LinkId Topology::add_duplex(NodeId a, NodeId b, LineType type,
+                            util::SimTime prop_delay) {
+  if (a >= node_count() || b >= node_count()) {
+    throw std::out_of_range("add_duplex: node id out of range");
+  }
+  if (a == b) throw std::invalid_argument("add_duplex: self-loop");
+
+  const auto fwd = static_cast<LinkId>(links_.size());
+  const auto rev = static_cast<LinkId>(links_.size() + 1);
+  const auto& ti = info(type);
+  links_.push_back(Link{fwd, a, b, type, ti.rate, prop_delay, rev});
+  links_.push_back(Link{rev, b, a, type, ti.rate, prop_delay, fwd});
+  out_links_[a].push_back(fwd);
+  out_links_[b].push_back(rev);
+  return fwd;
+}
+
+NodeId Topology::node_by_name(std::string_view name) const {
+  const auto it = std::ranges::find(node_names_, name);
+  if (it == node_names_.end()) {
+    throw std::out_of_range("no node named " + std::string(name));
+  }
+  return static_cast<NodeId>(it - node_names_.begin());
+}
+
+bool Topology::is_connected() const {
+  if (node_count() == 0) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    for (const LinkId l : out_links_[n]) {
+      const NodeId m = links_[l].to;
+      if (!seen[m]) {
+        seen[m] = true;
+        ++reached;
+        frontier.push(m);
+      }
+    }
+  }
+  return reached == node_count();
+}
+
+}  // namespace arpanet::net

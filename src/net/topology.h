@@ -1,0 +1,85 @@
+// Network topology: PSNs (nodes) and simplex links.
+//
+// Following the paper's terminology, a *link* is the simplex communication
+// medium between two PSNs; a physical trunk is therefore modeled as a pair of
+// simplex links, one per direction, each with its own queue, measured delay
+// and reported cost. Topology is immutable structure; mutable routing state
+// (costs, queue depths) is held outside it, indexed by LinkId.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/line_type.h"
+#include "src/util/units.h"
+
+namespace arpanet::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// One simplex link.
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  LineType type = LineType::kTerrestrial56;
+  util::DataRate rate;
+  util::SimTime prop_delay;
+  /// The simplex link carrying the opposite direction of the same trunk.
+  LinkId reverse = kInvalidLink;
+};
+
+/// Immutable graph of PSNs and simplex links.
+///
+/// Built incrementally with add_node / add_duplex, then used read-only by the
+/// routing, simulation and analysis layers. Node and link ids are dense
+/// indices, so per-node/per-link state elsewhere is a plain vector.
+class Topology {
+ public:
+  /// Adds a PSN. Names must be unique; used in reports and for lookups.
+  NodeId add_node(std::string name);
+
+  /// Adds a full-duplex trunk as two simplex links with identical
+  /// parameters. Rate and propagation delay default from the line type;
+  /// prop_delay may be overridden (e.g. long terrestrial trunks).
+  /// Returns the id of the a->b simplex link (its reverse is retrievable
+  /// via Link::reverse).
+  LinkId add_duplex(NodeId a, NodeId b, LineType type);
+  LinkId add_duplex(NodeId a, NodeId b, LineType type, util::SimTime prop_delay);
+
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  /// Number of full-duplex trunks (= link_count()/2).
+  [[nodiscard]] std::size_t trunk_count() const { return links_.size() / 2; }
+
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] std::span<const Link> links() const { return links_; }
+
+  [[nodiscard]] std::string_view node_name(NodeId id) const { return node_names_.at(id); }
+  /// Throws std::out_of_range if no node has this name.
+  [[nodiscard]] NodeId node_by_name(std::string_view name) const;
+
+  /// Outgoing simplex links of a node.
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId node) const {
+    return out_links_.at(node);
+  }
+
+  /// True iff every node can reach every other node over the links.
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+}  // namespace arpanet::net

@@ -1,0 +1,39 @@
+// Text format for topologies.
+//
+// Lets users run the simulator on their own networks without writing C++.
+// The format is line-oriented:
+//
+//   # comment (blank lines ignored)
+//   node MIT
+//   node BBN
+//   trunk MIT BBN 56kb-terrestrial
+//   trunk MIT LINCOLN 56kb-terrestrial prop_ms=2.5
+//
+// Line types are the names from net::to_string (e.g. "9.6kb-satellite").
+// `prop_ms=` overrides the line type's default propagation delay.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "src/net/topology.h"
+
+namespace arpanet::net {
+
+/// Parses the textual format. Throws std::invalid_argument with a
+/// line-numbered message on any syntax or semantic error.
+[[nodiscard]] Topology parse_topology(std::istream& in);
+[[nodiscard]] Topology parse_topology(std::string_view text);
+
+/// Writes a topology in the same format (one `trunk` line per duplex pair,
+/// propagation always explicit so the round trip is exact).
+void write_topology(std::ostream& out, const Topology& topo);
+[[nodiscard]] std::string topology_to_string(const Topology& topo);
+
+/// Parses a line-type name as produced by net::to_string. Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] LineType line_type_from_string(std::string_view name);
+
+}  // namespace arpanet::net

@@ -1,0 +1,26 @@
+// Routing algorithm selector.
+
+#pragma once
+
+namespace arpanet::routing {
+
+/// Which route computation generation a simulated network runs:
+///  * kSpf           — the May 1979 scheme: full-topology SPF driven by
+///                     flooded link-cost updates (pair with any LinkMetric).
+///  * kDistanceVector — the original 1969 scheme: distributed Bellman-Ford
+///                     with neighbor table exchange every 2/3 second and an
+///                     instantaneous queue-length link metric. Kept as the
+///                     paper's historical baseline (section 2.1); its
+///                     transient loops and table-exchange overhead are
+///                     observable in the simulator.
+enum class RoutingAlgorithm { kSpf, kDistanceVector };
+
+[[nodiscard]] constexpr const char* to_string(RoutingAlgorithm a) {
+  switch (a) {
+    case RoutingAlgorithm::kSpf: return "SPF";
+    case RoutingAlgorithm::kDistanceVector: return "Bellman-Ford-1969";
+  }
+  return "?";
+}
+
+}  // namespace arpanet::routing

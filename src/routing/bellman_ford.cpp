@@ -1,0 +1,76 @@
+#include "src/routing/bellman_ford.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace arpanet::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DistributedBellmanFord::DistributedBellmanFord(const net::Topology& topo,
+                                               double bias)
+    : topo_{&topo}, bias_{bias} {
+  if (!(bias > 0.0)) throw std::invalid_argument("Bellman-Ford bias must be positive");
+  const std::size_t n = topo.node_count();
+  dist_.assign(n, std::vector<double>(n, kInf));
+  next_.assign(n, std::vector<net::LinkId>(n, net::kInvalidLink));
+  for (std::size_t i = 0; i < n; ++i) dist_[i][i] = 0.0;
+}
+
+int DistributedBellmanFord::run_round(std::span<const double> queue_lengths) {
+  if (queue_lengths.size() != topo_->link_count()) {
+    throw std::invalid_argument("queue length vector size != link count");
+  }
+  const std::size_t n = topo_->node_count();
+  // Snapshot: everybody advertises last round's vector (synchronous rounds).
+  const auto advertised = dist_;
+
+  int changed = 0;
+  for (net::NodeId node = 0; node < n; ++node) {
+    for (net::NodeId dst = 0; dst < n; ++dst) {
+      if (dst == node) continue;
+      double best = kInf;
+      net::LinkId best_link = net::kInvalidLink;
+      for (const net::LinkId lid : topo_->out_links(node)) {
+        const net::Link& l = topo_->link(lid);
+        const double metric = queue_lengths[lid] + bias_;
+        const double cand = metric + advertised[l.to][dst];
+        if (cand < best || (cand == best && lid < best_link)) {
+          best = cand;
+          best_link = lid;
+        }
+      }
+      if (best != dist_[node][dst] || best_link != next_[node][dst]) {
+        dist_[node][dst] = best;
+        next_[node][dst] = best_link;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+int DistributedBellmanFord::run_to_convergence(std::span<const double> queue_lengths,
+                                               int max_rounds) {
+  for (int round = 1; round <= max_rounds; ++round) {
+    if (run_round(queue_lengths) == 0) return round;
+  }
+  return max_rounds;
+}
+
+bool DistributedBellmanFord::has_loop(net::NodeId src, net::NodeId dst) const {
+  std::vector<bool> visited(topo_->node_count(), false);
+  net::NodeId at = src;
+  while (at != dst) {
+    if (visited[at]) return true;
+    visited[at] = true;
+    const net::LinkId l = next_[at][dst];
+    if (l == net::kInvalidLink) return false;
+    at = topo_->link(l).to;
+  }
+  return false;
+}
+
+}  // namespace arpanet::routing

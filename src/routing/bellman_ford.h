@@ -1,0 +1,63 @@
+// The original (1969) ARPANET routing algorithm: distributed Bellman-Ford.
+//
+// Each node keeps a table of estimated distances to every other node and
+// exchanges it with its neighbors every 2/3 second; on each exchange it
+// re-minimizes over (link metric to neighbor + neighbor's advertised
+// distance). The link metric was the *instantaneous* output queue length at
+// the moment of updating plus a fixed constant (paper section 2.1).
+//
+// This implementation models the synchronous-round behaviour: run_round()
+// performs one network-wide exchange using the advertisements from the
+// *previous* round, which is exactly the information staleness that caused
+// the historical algorithm's persistent loops under a volatile metric. It is
+// included as the paper's first baseline and to demonstrate those loops.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace arpanet::routing {
+
+class DistributedBellmanFord {
+ public:
+  /// The fixed constant added to the instantaneous queue length; the paper
+  /// notes this positive bias "helped to alleviate" routing oscillations.
+  static constexpr double kDefaultBias = 1.0;
+
+  explicit DistributedBellmanFord(const net::Topology& topo,
+                                  double bias = kDefaultBias);
+
+  /// One synchronous exchange round: every node recomputes its distance
+  /// vector from its neighbors' previous-round vectors and the current link
+  /// metrics (metric for link l = queue_lengths[l] + bias). Returns the
+  /// number of (node, destination) estimates that changed.
+  int run_round(std::span<const double> queue_lengths);
+
+  /// Runs rounds with the given (static) queue lengths until no estimate
+  /// changes or max_rounds is hit. Returns rounds executed.
+  int run_to_convergence(std::span<const double> queue_lengths, int max_rounds = 1000);
+
+  [[nodiscard]] double distance(net::NodeId from, net::NodeId to) const {
+    return dist_.at(from).at(to);
+  }
+  /// The outgoing link `from` currently uses toward `to` (kInvalidLink if
+  /// from == to or no estimate yet).
+  [[nodiscard]] net::LinkId next_hop(net::NodeId from, net::NodeId to) const {
+    return next_.at(from).at(to);
+  }
+
+  /// True if following next hops from src toward dst revisits a node —
+  /// i.e. the current tables contain a routing loop for this pair.
+  [[nodiscard]] bool has_loop(net::NodeId src, net::NodeId dst) const;
+
+ private:
+  const net::Topology* topo_;
+  double bias_;
+  std::vector<std::vector<double>> dist_;     // [node][dst]
+  std::vector<std::vector<net::LinkId>> next_;  // [node][dst]
+};
+
+}  // namespace arpanet::routing

@@ -1,0 +1,4 @@
+// FloodingState is header-only; this translation unit exists so the module
+// has a home for future out-of-line additions (e.g. update aging) and keeps
+// the build list in src/CMakeLists.txt one-per-module.
+#include "src/routing/flooding.h"

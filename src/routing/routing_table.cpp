@@ -1,0 +1,45 @@
+#include "src/routing/routing_table.h"
+
+namespace arpanet::routing {
+
+ForwardingTables ForwardingTables::compute_all(const net::Topology& topo,
+                                               std::span<const double> costs) {
+  ForwardingTables t;
+  t.table_.resize(topo.node_count());
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    const SpfTree tree = Spf::compute(topo, n, costs);
+    t.table_[n] = tree.first_hop;
+  }
+  return t;
+}
+
+ForwardingTables ForwardingTables::from_trees(std::span<const SpfTree> trees) {
+  ForwardingTables t;
+  t.table_.resize(trees.size());
+  for (const SpfTree& tree : trees) {
+    t.table_.at(tree.root) = tree.first_hop;
+  }
+  return t;
+}
+
+PathTrace trace_path(const net::Topology& topo, const ForwardingTables& tables,
+                     net::NodeId src, net::NodeId dst) {
+  PathTrace trace;
+  std::vector<bool> visited(topo.node_count(), false);
+  net::NodeId at = src;
+  while (at != dst) {
+    if (visited[at]) {
+      trace.looped = true;
+      return trace;
+    }
+    visited[at] = true;
+    const net::LinkId next = tables.next_hop(at, dst);
+    if (next == net::kInvalidLink) return trace;  // unreachable
+    trace.links.push_back(next);
+    at = topo.link(next).to;
+  }
+  trace.reached = true;
+  return trace;
+}
+
+}  // namespace arpanet::routing

@@ -1,0 +1,64 @@
+// Forwarding tables and path tracing.
+//
+// ARPANET forwarding is destination-based and single-path: a packet header
+// carries only the destination PSN, and each PSN's table maps destination to
+// one outgoing link (paper section 2). This module derives those tables from
+// SPF trees and provides the hop-by-hop path walk used by the simulator's
+// diagnostics and by the analysis layer. Because each node routes
+// independently, a walk can loop when nodes hold inconsistent costs; the
+// trace reports that rather than hiding it — transient loops are part of the
+// phenomenon under study.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/routing/spf.h"
+
+namespace arpanet::routing {
+
+/// All nodes' forwarding tables, derived from per-node SPF over one shared
+/// cost vector. next_hop(n, d) is the outgoing link node n uses for packets
+/// destined to d (kInvalidLink if d == n or unreachable).
+class ForwardingTables {
+ public:
+  ForwardingTables() = default;
+
+  /// Builds tables for every node with a full SPF each. Analysis-side helper;
+  /// the simulator instead maintains one IncrementalSpf per PSN.
+  [[nodiscard]] static ForwardingTables compute_all(const net::Topology& topo,
+                                                    std::span<const double> costs);
+
+  /// Builds from already-computed trees (one per node, index = root id).
+  [[nodiscard]] static ForwardingTables from_trees(std::span<const SpfTree> trees);
+
+  [[nodiscard]] net::LinkId next_hop(net::NodeId node, net::NodeId dst) const {
+    return table_.at(node).at(dst);
+  }
+
+  void set_next_hop(net::NodeId node, net::NodeId dst, net::LinkId link) {
+    table_.at(node).at(dst) = link;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return table_.size(); }
+
+ private:
+  std::vector<std::vector<net::LinkId>> table_;
+};
+
+/// Result of walking a packet's path through the forwarding tables.
+struct PathTrace {
+  std::vector<net::LinkId> links;  ///< links traversed, in order
+  bool reached = false;            ///< destination was reached
+  bool looped = false;             ///< a node was visited twice
+  [[nodiscard]] int hops() const { return static_cast<int>(links.size()); }
+};
+
+/// Walks from src toward dst, following each node's next hop.
+[[nodiscard]] PathTrace trace_path(const net::Topology& topo,
+                                   const ForwardingTables& tables,
+                                   net::NodeId src, net::NodeId dst);
+
+}  // namespace arpanet::routing

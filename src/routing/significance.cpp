@@ -1,0 +1,2 @@
+// SignificanceFilter is header-only; see significance.h.
+#include "src/routing/significance.h"

@@ -1,0 +1,243 @@
+#include "src/routing/spf.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace arpanet::routing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using HeapEntry = std::pair<double, net::NodeId>;  // (dist, node), min-heap
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+void check_costs(const net::Topology& topo, std::span<const double> costs) {
+  if (costs.size() != topo.link_count()) {
+    throw std::invalid_argument("link cost vector size != link count");
+  }
+  for (const double c : costs) {
+    if (!(c > 0.0)) throw std::invalid_argument("link costs must be positive");
+  }
+}
+
+/// Re-derives parent links, first hops and hop counts from final distances.
+///
+/// The canonical parent of v is the lowest-id in-link (u,v) with
+/// dist[u] + cost == dist[v]; because relaxations only ever propagate from
+/// settled nodes, the achieving sum is bit-exact and the equality test is
+/// safe. Deriving structure from distances (rather than keeping whatever
+/// parents Dijkstra's settle order happened to produce) is what makes every
+/// PSN compute the identical tree from identical costs.
+void derive_structure(const net::Topology& topo, std::span<const double> costs,
+                      SpfTree& tree) {
+  const std::size_t n = topo.node_count();
+  tree.parent_link.assign(n, net::kInvalidLink);
+  tree.first_hop.assign(n, net::kInvalidLink);
+  tree.hops.assign(n, -1);
+  tree.hops[tree.root] = 0;
+
+  for (const net::Link& l : topo.links()) {
+    if (l.to == tree.root) continue;
+    const double du = tree.dist[l.from];
+    if (du == kInf) continue;
+    if (du + costs[l.id] == tree.dist[l.to]) {
+      if (tree.parent_link[l.to] == net::kInvalidLink ||
+          l.id < tree.parent_link[l.to]) {
+        tree.parent_link[l.to] = l.id;
+      }
+    }
+  }
+
+  // Positive costs mean dist strictly increases along tree edges, so
+  // processing nodes in distance order visits parents before children.
+  std::vector<net::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::ranges::sort(order, [&](net::NodeId a, net::NodeId b) {
+    return tree.dist[a] < tree.dist[b];
+  });
+  for (const net::NodeId v : order) {
+    if (v == tree.root || tree.parent_link[v] == net::kInvalidLink) continue;
+    const net::Link& pl = topo.link(tree.parent_link[v]);
+    tree.hops[v] = tree.hops[pl.from] + 1;
+    tree.first_hop[v] =
+        (pl.from == tree.root) ? pl.id : tree.first_hop[pl.from];
+  }
+}
+
+}  // namespace
+
+SpfTree Spf::compute(const net::Topology& topo, net::NodeId root,
+                     std::span<const double> link_costs) {
+  check_costs(topo, link_costs);
+  if (root >= topo.node_count()) throw std::out_of_range("SPF root out of range");
+
+  SpfTree tree;
+  tree.root = root;
+  tree.dist.assign(topo.node_count(), kInf);
+  tree.dist[root] = 0.0;
+
+  MinHeap heap;
+  heap.emplace(0.0, root);
+  std::vector<bool> settled(topo.node_count(), false);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    for (const net::LinkId lid : topo.out_links(u)) {
+      const net::Link& l = topo.link(lid);
+      const double nd = d + link_costs[lid];
+      if (nd < tree.dist[l.to]) {
+        tree.dist[l.to] = nd;
+        heap.emplace(nd, l.to);
+      }
+    }
+  }
+
+  derive_structure(topo, link_costs, tree);
+  return tree;
+}
+
+IncrementalSpf::IncrementalSpf(const net::Topology& topo, net::NodeId root,
+                               LinkCosts costs)
+    : topo_{&topo}, costs_{std::move(costs)} {
+  check_costs(topo, costs_);
+  tree_ = Spf::compute(topo, root, costs_);
+}
+
+void IncrementalSpf::reset(LinkCosts costs) {
+  check_costs(*topo_, costs);
+  costs_ = std::move(costs);
+  tree_ = Spf::compute(*topo_, tree_.root, costs_);
+}
+
+void IncrementalSpf::set_cost(net::LinkId link, double new_cost) {
+  if (!(new_cost > 0.0)) throw std::invalid_argument("link costs must be positive");
+  const double old_cost = costs_.at(link);
+  if (new_cost == old_cost) return;
+
+  if (new_cost > old_cost && !tree_.uses_link(*topo_, link)) {
+    // A cost increase on a link not in the tree cannot improve or invalidate
+    // any path; the PSN skips all work (paper section 2.2).
+    costs_[link] = new_cost;
+    ++skipped_;
+    return;
+  }
+
+  costs_[link] = new_cost;
+  ++incremental_;
+  if (new_cost < old_cost) {
+    decrease_pass(link);
+  } else {
+    increase_pass(link);
+  }
+  rederive_structure();
+}
+
+void IncrementalSpf::decrease_pass(net::LinkId link) {
+  const net::Link& l = topo_->link(link);
+  if (tree_.dist[l.from] == kInf) return;
+  const double cand = tree_.dist[l.from] + costs_[link];
+  if (cand >= tree_.dist[l.to]) return;
+
+  MinHeap heap;
+  heap.emplace(cand, l.to);
+  while (!heap.empty()) {
+    const auto [d, w] = heap.top();
+    heap.pop();
+    if (d >= tree_.dist[w]) continue;
+    tree_.dist[w] = d;
+    ++nodes_touched_;
+    for (const net::LinkId out : topo_->out_links(w)) {
+      const net::Link& ol = topo_->link(out);
+      const double nd = d + costs_[out];
+      if (nd < tree_.dist[ol.to]) heap.emplace(nd, ol.to);
+    }
+  }
+}
+
+void IncrementalSpf::increase_pass(net::LinkId link) {
+  const net::Link& l = topo_->link(link);
+  const std::size_t n = topo_->node_count();
+
+  // Affected region: the subtree hanging below the head of the increased
+  // link. Everything else keeps its distance.
+  std::vector<std::vector<net::NodeId>> children(n);
+  for (net::NodeId v = 0; v < n; ++v) {
+    const net::LinkId pl = tree_.parent_link[v];
+    if (pl != net::kInvalidLink) children[topo_->link(pl).from].push_back(v);
+  }
+  std::vector<bool> affected(n, false);
+  std::vector<net::NodeId> stack{l.to};
+  affected[l.to] = true;
+  while (!stack.empty()) {
+    const net::NodeId v = stack.back();
+    stack.pop_back();
+    for (const net::NodeId c : children[v]) {
+      if (!affected[c]) {
+        affected[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+
+  // Re-run Dijkstra over the affected region, seeded with the best entry
+  // from the unaffected frontier (which includes the increased link itself).
+  MinHeap heap;
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (!affected[v]) continue;
+    tree_.dist[v] = kInf;
+    ++nodes_touched_;
+  }
+  for (const net::Link& in : topo_->links()) {
+    if (!affected[in.to] || affected[in.from]) continue;
+    if (tree_.dist[in.from] == kInf) continue;
+    heap.emplace(tree_.dist[in.from] + costs_[in.id], in.to);
+  }
+  while (!heap.empty()) {
+    const auto [d, w] = heap.top();
+    heap.pop();
+    if (d >= tree_.dist[w]) continue;
+    tree_.dist[w] = d;
+    for (const net::LinkId out : topo_->out_links(w)) {
+      const net::Link& ol = topo_->link(out);
+      if (!affected[ol.to]) continue;
+      const double nd = d + costs_[out];
+      if (nd < tree_.dist[ol.to]) heap.emplace(nd, ol.to);
+    }
+  }
+}
+
+void IncrementalSpf::rederive_structure() {
+  derive_structure(*topo_, costs_, tree_);
+}
+
+std::vector<std::vector<int>> min_hop_lengths(const net::Topology& topo) {
+  const std::size_t n = topo.node_count();
+  std::vector<std::vector<int>> result(n, std::vector<int>(n, -1));
+  for (net::NodeId src = 0; src < n; ++src) {
+    auto& row = result[src];
+    row[src] = 0;
+    std::queue<net::NodeId> q;
+    q.push(src);
+    while (!q.empty()) {
+      const net::NodeId u = q.front();
+      q.pop();
+      for (const net::LinkId lid : topo.out_links(u)) {
+        const net::NodeId v = topo.link(lid).to;
+        if (row[v] == -1) {
+          row[v] = row[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace arpanet::routing

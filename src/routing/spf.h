@@ -1,0 +1,111 @@
+// Shortest Path First route computation.
+//
+// This is the route-computation half of the ARPANET scheme installed in May
+// 1979 (McQuillan, Richer & Rosen): every PSN knows the full topology and all
+// link costs, and computes a shortest-path tree rooted at itself with
+// Dijkstra's algorithm. The July 1987 revision this library reproduces
+// changed only the link costs fed into this computation, never the
+// computation itself (paper abstract, section 4).
+//
+// Two entry points are provided:
+//   * Spf::compute       — one-shot Dijkstra, used by analysis code.
+//   * IncrementalSpf     — the PSN's resident algorithm, which "attempts to
+//     perform only incremental adjustments necessitated by a link cost
+//     change, e.g. if a routing update reports an increase in the cost for a
+//     link not in the tree, the algorithm does not recompute any part of the
+//     tree" (paper section 2.2).
+//
+// Determinism: ties between equal-cost paths are broken canonically (parent =
+// lowest-id in-link achieving the node's distance), so every PSN derives the
+// same tree from the same costs; with destination-only packet headers this
+// consistency is what keeps forwarding loop-free between updates, because
+// shortest paths are hereditary (paper section 4.1).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace arpanet::routing {
+
+/// Link costs in routing units, indexed by LinkId. Costs must be positive.
+using LinkCosts = std::vector<double>;
+
+/// A shortest-path tree rooted at one node.
+struct SpfTree {
+  net::NodeId root = net::kInvalidNode;
+  /// Distance from root, per node; +inf if unreachable.
+  std::vector<double> dist;
+  /// The in-link on the shortest path to each node (kInvalidLink for the
+  /// root and unreachable nodes).
+  std::vector<net::LinkId> parent_link;
+  /// The root's outgoing link used to reach each node — the forwarding
+  /// decision (kInvalidLink for the root and unreachable nodes).
+  std::vector<net::LinkId> first_hop;
+  /// Path length in hops from the root, per node (-1 if unreachable; 0 for
+  /// the root).
+  std::vector<int> hops;
+
+  /// True iff `link` is a tree edge (the parent link of its head node).
+  [[nodiscard]] bool uses_link(const net::Topology& topo, net::LinkId link) const {
+    return parent_link[topo.link(link).to] == link;
+  }
+};
+
+/// One-shot SPF.
+class Spf {
+ public:
+  [[nodiscard]] static SpfTree compute(const net::Topology& topo, net::NodeId root,
+                                       std::span<const double> link_costs);
+};
+
+/// Resident incremental SPF, as run inside a PSN.
+///
+/// Maintains the tree across a stream of single-link cost changes. Distances
+/// are updated with localized Dijkstra passes touching only affected nodes;
+/// parents/first-hops/hop-counts are then re-derived canonically, so the
+/// result is always bit-identical to a full Spf::compute with the same
+/// costs (verified by property tests). Counters expose how much work each
+/// class of update required.
+class IncrementalSpf {
+ public:
+  IncrementalSpf(const net::Topology& topo, net::NodeId root, LinkCosts costs);
+
+  [[nodiscard]] const SpfTree& tree() const { return tree_; }
+  [[nodiscard]] std::span<const double> costs() const { return costs_; }
+  [[nodiscard]] net::NodeId root() const { return tree_.root; }
+
+  /// Applies one link-cost change and updates the tree.
+  void set_cost(net::LinkId link, double new_cost);
+
+  /// Replaces all costs (e.g. first full update after startup).
+  void reset(LinkCosts costs);
+
+  /// Updates that required no distance work at all (cost increase on a
+  /// non-tree link — the paper's example).
+  [[nodiscard]] long skipped_updates() const { return skipped_; }
+  /// Updates handled by a localized pass.
+  [[nodiscard]] long incremental_updates() const { return incremental_; }
+  /// Total nodes whose distance was recomputed across incremental passes.
+  [[nodiscard]] long nodes_touched() const { return nodes_touched_; }
+
+ private:
+  void rederive_structure();
+  void decrease_pass(net::LinkId link);
+  void increase_pass(net::LinkId link);
+
+  const net::Topology* topo_;
+  LinkCosts costs_;
+  SpfTree tree_;
+  long skipped_ = 0;
+  long incremental_ = 0;
+  long nodes_touched_ = 0;
+};
+
+/// Hop counts of minimum-hop paths from every node (BFS). Used for the
+/// "Internode Minimum Path" row of Table 1.
+[[nodiscard]] std::vector<std::vector<int>> min_hop_lengths(const net::Topology& topo);
+
+}  // namespace arpanet::routing

@@ -1,0 +1,19 @@
+#include "src/sim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace arpanet::sim {
+
+void EventQueue::schedule(util::SimTime at, Action action) {
+  heap_.push(Entry{at, next_seq_++, std::make_shared<Action>(std::move(action))});
+}
+
+EventQueue::Action EventQueue::pop(util::SimTime& at) {
+  Entry e = heap_.top();
+  heap_.pop();
+  at = e.at;
+  return std::move(*e.action);
+}
+
+}  // namespace arpanet::sim

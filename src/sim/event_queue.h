@@ -1,0 +1,48 @@
+// Discrete-event queue.
+//
+// A binary min-heap of (time, sequence) keyed events. The sequence number
+// makes ordering of simultaneous events deterministic (FIFO in scheduling
+// order), which keeps whole-network runs bit-reproducible for a given seed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(util::SimTime at, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] util::SimTime next_time() const { return heap_.top().at; }
+
+  /// Pops and returns the earliest event. Precondition: !empty().
+  Action pop(util::SimTime& at);
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    std::uint64_t seq;
+    // shared_ptr rather than storing the move-only closures directly: the
+    // std heap needs copyable entries, and actions are scheduled once.
+    std::shared_ptr<Action> action;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace arpanet::sim

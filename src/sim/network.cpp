@@ -1,0 +1,187 @@
+#include "src/sim/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/metrics/metric_factory.h"
+
+namespace arpanet::sim {
+
+Network::Network(const net::Topology& topo, NetworkConfig cfg)
+    : topo_{&topo},
+      cfg_{cfg},
+      rng_{cfg.seed},
+      sizer_{cfg.mean_packet_bits},
+      min_hop_table_{routing::min_hop_lengths(topo)},
+      drops_{cfg.stats_bucket} {
+  if (!topo.is_connected()) {
+    throw std::invalid_argument("topology must be connected");
+  }
+  // Every PSN starts from the same cost map (each link at its metric's
+  // initial cost), so the initial trees are consistent network-wide.
+  routing::LinkCosts initial(topo.link_count());
+  for (const net::Link& l : topo.links()) {
+    initial[l.id] =
+        metrics::make_metric(cfg.metric, l, cfg.line_params)->initial_cost();
+  }
+  psns_.reserve(topo.node_count());
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    psns_.push_back(std::make_unique<Psn>(*this, n, initial));
+  }
+  link_busy_.reserve(topo.link_count());
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    link_busy_.emplace_back(cfg.stats_bucket);
+  }
+  cost_traces_.resize(topo.link_count());
+  for (auto& psn : psns_) psn->start();
+}
+
+Network::~Network() = default;
+
+void Network::add_traffic(const traffic::TrafficMatrix& matrix) {
+  if (matrix.nodes() != topo_->node_count()) {
+    throw std::invalid_argument("traffic matrix size != node count");
+  }
+  for (net::NodeId s = 0; s < matrix.nodes(); ++s) {
+    for (net::NodeId d = 0; d < matrix.nodes(); ++d) {
+      const double bps = matrix.at(s, d);
+      if (bps <= 0.0) continue;
+      const double pkts_per_sec = bps / cfg_.mean_packet_bits;
+      const std::uint64_t stream =
+          static_cast<std::uint64_t>(s) * matrix.nodes() + d;
+      sources_.push_back(std::make_unique<Source>(Source{
+          s, d, traffic::PoissonProcess{pkts_per_sec, rng_.split(stream)},
+          rng_.split(stream + 0x8000'0000ULL)}));
+      schedule_arrival(sources_.size() - 1);
+    }
+  }
+}
+
+void Network::schedule_arrival(std::size_t source_index) {
+  Source& src = *sources_[source_index];
+  sim_.schedule_in(src.process.next_gap(), [this, source_index] {
+    if (!traffic_enabled_) return;  // stop_traffic(): let the queues drain
+    Source& s = *sources_[source_index];
+    psns_[s.src]->originate_data(s.dst, sizer_.sample(s.size_rng));
+    schedule_arrival(source_index);
+  });
+}
+
+void Network::run_for(util::SimTime duration) { run_until(sim_.now() + duration); }
+
+void Network::run_until(util::SimTime end) { sim_.run_until(end); }
+
+void Network::reset_stats() {
+  stats_ = NetworkStats{};
+  window_start_ = sim_.now();
+}
+
+void Network::on_delivered(const Packet& pkt) {
+  ++stats_.packets_delivered;
+  stats_.bits_delivered += pkt.bits;
+  stats_.one_way_delay_ms.add((sim_.now() - pkt.created).ms());
+  stats_.delay_histogram_ms.add((sim_.now() - pkt.created).ms());
+  stats_.path_hops.add(pkt.hops);
+  stats_.min_hops.add(min_hop_table_[pkt.src][pkt.dst]);
+  if (delivery_hook_) delivery_hook_(pkt);
+}
+
+void Network::on_queue_drop(const Packet& pkt) {
+  (void)pkt;
+  ++stats_.packets_dropped_queue;
+  drops_.add(sim_.now(), 1.0);
+}
+
+void Network::on_unreachable_drop(const Packet& pkt) {
+  (void)pkt;
+  ++stats_.packets_dropped_unreachable;
+}
+
+void Network::on_loop_drop(const Packet& pkt) {
+  (void)pkt;
+  ++stats_.packets_dropped_loop;
+  drops_.add(sim_.now(), 1.0);
+}
+
+void Network::on_transmission(net::LinkId link, util::SimTime busy) {
+  link_busy_[link].add(sim_.now(), static_cast<double>(busy.us()));
+}
+
+void Network::on_cost_reported(net::LinkId link, double cost) {
+  if (cfg_.track_reported_costs) {
+    cost_traces_[link].emplace_back(sim_.now(), cost);
+  }
+}
+
+void Network::deliver_to_peer(net::LinkId link, Packet pkt) {
+  const net::Link& l = topo_->link(link);
+  sim_.schedule_in(l.prop_delay, [this, to = l.to, link, p = std::move(pkt)]() mutable {
+    psns_[to]->receive(std::move(p), link);
+  });
+}
+
+double Network::link_utilization(net::LinkId id, std::size_t bucket) const {
+  const double busy_us = link_busy_.at(id).bucket(bucket);
+  return busy_us / static_cast<double>(cfg_.stats_bucket.us());
+}
+
+void Network::set_trunk_up(net::LinkId link, bool up) {
+  const net::Link& l = topo_->link(link);
+  psns_[l.from]->set_local_link_up(l.id, up);
+  psns_[l.to]->set_local_link_up(l.reverse, up);
+}
+
+routing::PathTrace Network::current_route(net::NodeId src,
+                                          net::NodeId dst) const {
+  routing::PathTrace trace;
+  std::vector<bool> visited(topo_->node_count(), false);
+  net::NodeId at = src;
+  while (at != dst) {
+    if (visited[at]) {
+      trace.looped = true;
+      return trace;
+    }
+    visited[at] = true;
+    const net::LinkId next = psns_[at]->tree().first_hop[dst];
+    if (next == net::kInvalidLink) return trace;
+    trace.links.push_back(next);
+    at = topo_->link(next).to;
+  }
+  trace.reached = true;
+  return trace;
+}
+
+void Network::set_node_up(net::NodeId node, bool up) {
+  for (const net::LinkId lid : topo_->out_links(node)) {
+    set_trunk_up(lid, up);
+  }
+}
+
+stats::NetworkIndicators Network::indicators(std::string label) const {
+  const double window_sec = window_length().sec();
+  stats::NetworkIndicators ind;
+  ind.label = std::move(label);
+  if (window_sec <= 0.0) return ind;
+  ind.internode_traffic_kbps = stats_.bits_delivered / window_sec / 1e3;
+  ind.round_trip_delay_ms = 2.0 * stats_.one_way_delay_ms.mean();
+  ind.updates_per_trunk_sec =
+      static_cast<double>(stats_.update_packets_sent) /
+      static_cast<double>(topo_->trunk_count()) / window_sec;
+  ind.update_period_per_node_sec =
+      stats_.updates_originated > 0
+          ? window_sec * static_cast<double>(topo_->node_count()) /
+                static_cast<double>(stats_.updates_originated)
+          : 0.0;
+  ind.actual_path_hops = stats_.path_hops.mean();
+  ind.minimum_path_hops = stats_.min_hops.mean();
+  ind.packets_dropped_per_sec =
+      static_cast<double>(stats_.packets_dropped_queue) / window_sec;
+  ind.delivered_packets_per_sec =
+      static_cast<double>(stats_.packets_delivered) / window_sec;
+  ind.delay_p50_ms = stats_.delay_histogram_ms.quantile(0.50);
+  ind.delay_p95_ms = stats_.delay_histogram_ms.quantile(0.95);
+  ind.delay_p99_ms = stats_.delay_histogram_ms.quantile(0.99);
+  return ind;
+}
+
+}  // namespace arpanet::sim

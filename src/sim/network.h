@@ -1,0 +1,223 @@
+// Network: the assembled simulation — topology, PSNs, traffic, statistics.
+//
+// This is the library's main entry point for whole-network experiments:
+//
+//   net::Topology topo = net::builders::arpanet87();
+//   sim::NetworkConfig cfg;
+//   cfg.metric = metrics::MetricKind::kHnSpf;
+//   sim::Network net{topo, cfg};
+//   net.add_traffic(traffic::TrafficMatrix::peak_hour(topo.node_count(),
+//                                                     400e3, rng));
+//   net.run_for(util::SimTime::from_sec(300));   // warm-up
+//   net.reset_stats();
+//   net.run_for(util::SimTime::from_sec(600));   // measurement window
+//   auto table1 = net.indicators("HN-SPF");
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/line_params.h"
+#include "src/metrics/link_metric.h"
+#include "src/net/topology.h"
+#include "src/routing/routing_table.h"
+#include "src/sim/packet_trace.h"
+#include "src/sim/psn.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/stats/indicators.h"
+#include "src/stats/summary.h"
+#include "src/stats/time_series.h"
+#include "src/traffic/poisson_source.h"
+#include "src/traffic/traffic_matrix.h"
+#include "src/util/rng.h"
+
+namespace arpanet::sim {
+
+struct NetworkConfig {
+  /// Route computation generation; kSpf is the 1979+ scheme the paper
+  /// modifies, kDistanceVector the 1969 original kept as a baseline.
+  routing::RoutingAlgorithm algorithm = routing::RoutingAlgorithm::kSpf;
+  metrics::MetricKind metric = metrics::MetricKind::kHnSpf;
+  core::LineParamsTable line_params = core::LineParamsTable::arpanet_defaults();
+  /// The ARPANET's ten-second measurement interval.
+  util::SimTime measurement_period = util::SimTime::from_sec(10);
+  /// Output data-queue capacity, packets; routing updates bypass it.
+  int queue_capacity = 40;
+  double mean_packet_bits = util::kAveragePacketBits;
+  std::uint64_t seed = 0x19870726ULL;
+  /// Bucket width for drop/utilization time series.
+  util::SimTime stats_bucket = util::SimTime::from_sec(10);
+  /// Record per-link reported-cost traces (fig. 1 style plots).
+  bool track_reported_costs = false;
+  /// Data packets exceeding this many hops are counted as loop drops
+  /// (only the 1969 algorithm ever reaches it).
+  int hop_limit = 128;
+  /// Distance-vector mode: table exchange interval ("every 2/3 seconds").
+  util::SimTime dv_exchange_period = util::SimTime::from_us(666'667);
+  /// Distance-vector mode: the fixed constant added to the instantaneous
+  /// queue length.
+  double dv_bias = 1.0;
+  /// Extension (paper section 4.5): spread each destination's packets
+  /// round-robin over all equal-cost shortest-path next hops instead of the
+  /// single canonical first hop. SPF mode only.
+  bool multipath = false;
+  /// Costs within this many routing units count as "equal" for multipath —
+  /// measured metrics never produce exact ties (HN-SPF reporting
+  /// granularity is about a half-hop, 15 units on a 56 kb/s line). The PSN
+  /// additionally caps it below the cheapest current link cost so multipath
+  /// forwarding stays loop-free.
+  double multipath_tolerance = 15.0;
+  /// Ablation hook: overrides the metric's update-generation threshold
+  /// (routing units) when >= 0. The shipped behaviour (-1) uses the
+  /// metric's own value — "a little less than a half-hop" for HN-SPF, the
+  /// decaying 64-unit scheme for D-SPF.
+  double significance_threshold_override = -1.0;
+};
+
+struct NetworkStats {
+  long packets_generated = 0;
+  long packets_delivered = 0;
+  long packets_dropped_queue = 0;       ///< tail drops (congestion)
+  long packets_dropped_unreachable = 0; ///< no route
+  long packets_dropped_loop = 0;        ///< hop budget exceeded (routing loop)
+  double bits_delivered = 0.0;
+  stats::Summary one_way_delay_ms;
+  /// One-way delay distribution (0-5000 ms, 2 ms bins) for percentiles.
+  stats::Histogram delay_histogram_ms{0.0, 5000.0, 2500};
+  stats::Summary path_hops;
+  stats::Summary min_hops;  ///< min-hop length of each delivered packet's pair
+  long updates_originated = 0;
+  long update_packets_sent = 0;  ///< flooded transmissions (overhead)
+};
+
+class Network {
+ public:
+  Network(const net::Topology& topo, NetworkConfig cfg);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs Poisson sources for every nonzero matrix entry. May be called
+  /// once, before running.
+  void add_traffic(const traffic::TrafficMatrix& matrix);
+
+  /// Stops all sources: no packet is originated after this call. Running
+  /// further drains the queues, after which conservation holds exactly
+  /// (generated == delivered + dropped).
+  void stop_traffic() { traffic_enabled_ = false; }
+
+  /// Called (after statistics) for every delivered data packet. Used by
+  /// host-level layers (sim/host_flow.h); one hook at a time.
+  void set_delivery_hook(std::function<void(const Packet&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  /// Attaches a packet tracer (nullptr detaches). The tracer must outlive
+  /// the run; recording costs one branch per event when detached.
+  void attach_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+
+  /// Psn-side tracing entry point.
+  void trace(TraceEventKind kind, const Packet& pkt, net::NodeId node,
+             net::LinkId link = net::kInvalidLink) {
+    if (tracer_) tracer_->record(sim_.now(), kind, pkt.id, node, link);
+  }
+
+  void run_for(util::SimTime duration);
+  void run_until(util::SimTime end);
+
+  /// Zeroes counters and restarts the measurement window (call after
+  /// warm-up).
+  void reset_stats();
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] util::SimTime window_length() const {
+    return sim_.now() - window_start_;
+  }
+  [[nodiscard]] stats::NetworkIndicators indicators(std::string label) const;
+
+  [[nodiscard]] const net::Topology& topology() const { return *topo_; }
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] util::SimTime now() const { return sim_.now(); }
+
+  [[nodiscard]] const Psn& psn(net::NodeId id) const { return *psns_.at(id); }
+  [[nodiscard]] Psn& psn(net::NodeId id) { return *psns_.at(id); }
+
+  /// Link utilization (busy fraction) per stats bucket.
+  [[nodiscard]] const stats::TimeSeries& link_busy_series(net::LinkId id) const {
+    return link_busy_.at(id);
+  }
+  [[nodiscard]] double link_utilization(net::LinkId id,
+                                        std::size_t bucket) const;
+
+  /// Reported-cost trace of a link (empty unless track_reported_costs).
+  [[nodiscard]] const std::vector<std::pair<util::SimTime, double>>&
+  reported_cost_trace(net::LinkId id) const {
+    return cost_traces_.at(id);
+  }
+
+  /// Drops per stats bucket (fig. 13's quantity).
+  [[nodiscard]] const stats::TimeSeries& drop_series() const { return drops_; }
+
+  /// Takes a trunk (both simplex directions) down or up mid-run.
+  void set_trunk_up(net::LinkId link, bool up);
+
+  /// Takes a whole PSN down or up: all its trunks at once (a node crash /
+  /// restart). Down nodes still exist in every map; their links carry
+  /// Psn::kDownLinkCost so traffic routes around them.
+  void set_node_up(net::NodeId node, bool up);
+
+  /// The route a data packet submitted right now at `src` would take,
+  /// walking each PSN's *own* current tree hop by hop — so during update
+  /// transients this can legitimately report a loop, exactly as a real
+  /// packet could experience one.
+  [[nodiscard]] routing::PathTrace current_route(net::NodeId src,
+                                                 net::NodeId dst) const;
+
+  // ---- callbacks from Psn (not for external use) ----
+  void on_generated() { ++stats_.packets_generated; }
+  void on_delivered(const Packet& pkt);
+  void on_queue_drop(const Packet& pkt);
+  void on_unreachable_drop(const Packet& pkt);
+  void on_loop_drop(const Packet& pkt);
+  void on_update_originated() { ++stats_.updates_originated; }
+  void on_update_packet_sent() { ++stats_.update_packets_sent; }
+  void on_transmission(net::LinkId link, util::SimTime busy);
+  void on_cost_reported(net::LinkId link, double cost);
+  void deliver_to_peer(net::LinkId link, Packet pkt);
+  [[nodiscard]] std::uint64_t next_packet_id() { return ++packet_id_; }
+
+ private:
+  struct Source {
+    net::NodeId src;
+    net::NodeId dst;
+    traffic::PoissonProcess process;
+    util::Rng size_rng;
+  };
+  void schedule_arrival(std::size_t source_index);
+
+  const net::Topology* topo_;
+  NetworkConfig cfg_;
+  Simulator sim_;
+  util::Rng rng_;
+  traffic::PacketSizer sizer_;
+  std::vector<std::unique_ptr<Psn>> psns_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::vector<std::vector<int>> min_hop_table_;
+  NetworkStats stats_;
+  std::function<void(const Packet&)> delivery_hook_;
+  PacketTracer* tracer_ = nullptr;
+  bool traffic_enabled_ = true;
+  util::SimTime window_start_ = util::SimTime::zero();
+  std::vector<stats::TimeSeries> link_busy_;
+  std::vector<std::vector<std::pair<util::SimTime, double>>> cost_traces_;
+  stats::TimeSeries drops_;
+  std::uint64_t packet_id_ = 0;
+};
+
+}  // namespace arpanet::sim

@@ -1,0 +1,59 @@
+// Packets.
+//
+// A data packet's header carries only the destination PSN — the whole point
+// of consistent network-wide routing trees (paper section 4.1). Routing
+// updates travel as packets too, so their bandwidth consumption (one of the
+// D-SPF complaints, section 3.3 point 4) is charged against the links.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/routing/flooding.h"
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+
+/// A distance-vector advertisement, as exchanged by the original (1969)
+/// routing algorithm: the sender's current estimated distance to every node
+/// (paper section 2.1). Sent hop-by-hop to neighbors only — never flooded.
+struct DistanceVector {
+  net::NodeId origin = net::kInvalidNode;
+  std::vector<double> dist;  ///< indexed by destination node
+
+  /// Wire size: header plus one 16-bit distance per destination — the
+  /// full-table exchange that made the original scheme costly on slow lines.
+  [[nodiscard]] double wire_bits() const {
+    return 128.0 + 16.0 * static_cast<double>(dist.size());
+  }
+};
+
+struct Packet {
+  enum class Kind : std::uint8_t { kData, kRoutingUpdate, kDistanceVector };
+
+  std::uint64_t id = 0;
+  Kind kind = Kind::kData;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;  ///< unused for routing messages
+  double bits = 0.0;
+  util::SimTime created;
+  int hops = 0;
+
+  // Host-level message framing (sim/host_flow.h). Zero/false for plain
+  // datagram traffic.
+  std::uint64_t message_id = 0;  ///< nonzero when part of a host message
+  std::uint16_t pkt_index = 0;   ///< position within the message
+  std::uint16_t pkt_count = 0;   ///< packets in the message
+  bool rfnm = false;             ///< this is a Request-For-Next-Message ack
+
+  /// Payload for Kind::kRoutingUpdate; shared between flooded copies.
+  std::shared_ptr<const routing::RoutingUpdate> update;
+  /// Payload for Kind::kDistanceVector.
+  std::shared_ptr<const DistanceVector> dv;
+};
+
+}  // namespace arpanet::sim

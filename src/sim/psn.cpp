@@ -1,0 +1,392 @@
+#include "src/sim/psn.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "src/metrics/metric_factory.h"
+#include "src/sim/network.h"
+
+namespace arpanet::sim {
+
+namespace {
+
+routing::SignificanceFilter make_filter(const metrics::LinkMetric& metric,
+                                        double threshold_override) {
+  if (threshold_override >= 0.0) {
+    return routing::SignificanceFilter{
+        routing::SignificanceFilter::fixed_config(threshold_override)};
+  }
+  return routing::SignificanceFilter{
+      metric.threshold_decays()
+          ? routing::SignificanceFilter::dspf_config()
+          : routing::SignificanceFilter::fixed_config(metric.change_threshold())};
+}
+
+}  // namespace
+
+Psn::Psn(Network& net, net::NodeId id, routing::LinkCosts initial_costs)
+    : net_{net},
+      id_{id},
+      spf_{net.topology(), id, std::move(initial_costs)},
+      flood_state_{net.topology().node_count()} {
+  const net::Topology& topo = net.topology();
+  out_.reserve(topo.out_links(id).size());
+  for (const net::LinkId lid : topo.out_links(id)) {
+    const net::Link& link = topo.link(lid);
+    auto metric = metrics::make_metric(net.config().metric, link,
+                                       net.config().line_params);
+    auto filter =
+        make_filter(*metric, net.config().significance_threshold_override);
+    const double initial = metric->initial_cost();
+    filter.force_report(initial);
+    out_.emplace_back(lid,
+                      metrics::DelayMeasurement{link.rate, link.prop_delay},
+                      std::move(metric), std::move(filter), initial);
+  }
+}
+
+void Psn::start() {
+  if (net_.config().algorithm == routing::RoutingAlgorithm::kDistanceVector) {
+    const std::size_t n = net_.topology().node_count();
+    dv_dist_.assign(n, kUnreachable);
+    dv_dist_[id_] = 0.0;
+    dv_next_.assign(n, net::kInvalidLink);
+    dv_neighbor_.assign(out_.size(), std::vector<double>(n, kUnreachable));
+    const util::SimTime period = net_.config().dv_exchange_period;
+    const util::SimTime offset = util::SimTime::from_us(
+        period.us() * (static_cast<std::int64_t>(id_) % 16) / 16);
+    net_.simulator().schedule_in(period + offset, [this] { dv_tick(); });
+    return;
+  }
+  // Measurement periods are staggered across nodes (the real PSNs' clocks
+  // were unsynchronized); the *response* to an update is still
+  // near-simultaneous network-wide because flooding is fast.
+  const util::SimTime period = net_.config().measurement_period;
+  const auto nodes = static_cast<std::int64_t>(net_.topology().node_count());
+  const util::SimTime offset = util::SimTime::from_us(
+      period.us() * (static_cast<std::int64_t>(id_) % nodes) / std::max<std::int64_t>(nodes, 1));
+  net_.simulator().schedule_in(period + offset, [this] { measurement_period(); });
+}
+
+Psn::OutLink& Psn::out_for(net::LinkId link) {
+  for (OutLink& o : out_) {
+    if (o.id == link) return o;
+  }
+  throw std::out_of_range("link is not an out-link of this PSN");
+}
+
+double Psn::reported_cost(net::LinkId out_link) const {
+  for (const OutLink& o : out_) {
+    if (o.id == out_link) return o.reported;
+  }
+  throw std::out_of_range("link is not an out-link of this PSN");
+}
+
+void Psn::originate_data(net::NodeId dst, double bits) {
+  Packet pkt;
+  pkt.id = net_.next_packet_id();
+  pkt.kind = Packet::Kind::kData;
+  pkt.src = id_;
+  pkt.dst = dst;
+  pkt.bits = bits;
+  pkt.created = net_.now();
+  net_.on_generated();
+  net_.trace(TraceEventKind::kOriginated, pkt, id_);
+  forward(std::move(pkt));
+}
+
+void Psn::originate_packet(Packet pkt) {
+  pkt.id = net_.next_packet_id();
+  pkt.src = id_;
+  pkt.created = net_.now();
+  net_.on_generated();
+  net_.trace(TraceEventKind::kOriginated, pkt, id_);
+  forward(std::move(pkt));
+}
+
+void Psn::receive(Packet pkt, net::LinkId via_link) {
+  ++pkt.hops;
+  if (pkt.kind == Packet::Kind::kRoutingUpdate) {
+    handle_update(std::move(pkt), via_link);
+    return;
+  }
+  if (pkt.kind == Packet::Kind::kDistanceVector) {
+    handle_distance_vector(pkt, via_link);
+    return;
+  }
+  if (pkt.dst == id_) {
+    net_.trace(TraceEventKind::kDelivered, pkt, id_, via_link);
+    net_.on_delivered(pkt);
+    return;
+  }
+  // A hop budget keeps packets finite under the 1969 algorithm's transient
+  // loops (SPF forwarding never loops between consistent tables, so the
+  // budget is inert there). Loop drops are an observable statistic.
+  if (pkt.hops >= net_.config().hop_limit) {
+    net_.trace(TraceEventKind::kDroppedLoop, pkt, id_, via_link);
+    net_.on_loop_drop(pkt);
+    return;
+  }
+  forward(std::move(pkt));
+}
+
+void Psn::forward(Packet&& pkt) {
+  net::LinkId next = net::kInvalidLink;
+  if (net_.config().algorithm == routing::RoutingAlgorithm::kDistanceVector) {
+    next = dv_next_[pkt.dst];
+  } else if (net_.config().multipath) {
+    if (mp_dirty_) {
+      // Cap the near-equality tolerance below the cheapest current cost so
+      // every admitted next hop still strictly shortens the path.
+      double min_cost = std::numeric_limits<double>::infinity();
+      for (const double c : spf_.costs()) min_cost = std::min(min_cost, c);
+      const double tolerance =
+          std::min(net_.config().multipath_tolerance, 0.49 * min_cost);
+      mp_sets_ = routing::MultipathSets::compute(net_.topology(), id_,
+                                                 spf_.costs(), tolerance);
+      mp_cursor_.assign(net_.topology().node_count(), 0);
+      mp_dirty_ = false;
+    }
+    const std::span<const net::LinkId> hops = mp_sets_.next_hops(pkt.dst);
+    if (!hops.empty()) {
+      next = hops[mp_cursor_[pkt.dst]++ % hops.size()];
+    }
+  } else {
+    next = spf_.tree().first_hop[pkt.dst];
+  }
+  if (next == net::kInvalidLink) {
+    net_.trace(TraceEventKind::kDroppedUnreachable, pkt, id_);
+    net_.on_unreachable_drop(pkt);
+    return;
+  }
+  enqueue(out_for(next), std::move(pkt), /*priority=*/false);
+}
+
+void Psn::enqueue(OutLink& out, Packet&& pkt, bool priority) {
+  if (priority) {
+    net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
+    out.update_q.push_back(Queued{std::move(pkt), net_.now()});
+  } else {
+    if (static_cast<int>(out.data_q.size()) >= net_.config().queue_capacity) {
+      net_.trace(TraceEventKind::kDroppedQueue, pkt, id_, out.id);
+      net_.on_queue_drop(pkt);
+      return;
+    }
+    net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
+    out.data_q.push_back(Queued{std::move(pkt), net_.now()});
+  }
+  maybe_start_tx(out);
+}
+
+void Psn::maybe_start_tx(OutLink& out) {
+  if (out.busy || !out.up) return;
+  std::deque<Queued>* q = nullptr;
+  if (!out.update_q.empty()) {
+    q = &out.update_q;
+  } else if (!out.data_q.empty()) {
+    q = &out.data_q;
+  } else {
+    return;
+  }
+
+  Queued item = std::move(q->front());
+  q->pop_front();
+  out.busy = true;
+
+  const net::Link& link = net_.topology().link(out.id);
+  const util::SimTime queue_delay = net_.now() - item.enqueued;
+  const util::SimTime tx = link.rate.transmission_time(item.pkt.bits);
+  const net::LinkId lid = out.id;
+  // Both update kinds (flooded link costs, distance vectors) count as
+  // routing overhead.
+  const bool is_update = item.pkt.kind != Packet::Kind::kData;
+
+  net_.simulator().schedule_in(
+      tx, [this, lid, queue_delay, tx, is_update,
+           pkt = std::move(item.pkt)]() mutable {
+        OutLink& o = out_for(lid);
+        o.meas.record_packet(queue_delay, tx);
+        net_.on_transmission(lid, tx);
+        net_.trace(TraceEventKind::kTransmitted, pkt, id_, lid);
+        if (is_update) net_.on_update_packet_sent();
+        // Hand the packet to the propagation medium; it arrives at the
+        // neighbor prop_delay later (Network routes it to the peer PSN).
+        net_.deliver_to_peer(lid, std::move(pkt));
+        o.busy = false;
+        maybe_start_tx(o);
+      });
+}
+
+void Psn::handle_update(Packet&& pkt, net::LinkId via_link) {
+  if (!pkt.update) throw std::logic_error("update packet without payload");
+  if (!flood_state_.accept(*pkt.update)) return;  // duplicate
+  for (const routing::LinkCostReport& r : pkt.update->reports) {
+    spf_.set_cost(r.link, r.cost);
+  }
+  mp_dirty_ = true;
+  flood_copies(pkt.update, via_link);
+}
+
+void Psn::measurement_period() {
+  std::vector<double> candidates(out_.size());
+  bool significant = false;
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    OutLink& o = out_[i];
+    const metrics::PeriodMeasurement m =
+        o.meas.end_period(net_.config().measurement_period);
+    candidates[i] = o.up ? o.metric->on_period(m) : kDownLinkCost;
+    if (o.filter.should_report(candidates[i])) significant = true;
+  }
+  if (significant) originate_update(candidates);
+
+  net_.simulator().schedule_in(net_.config().measurement_period,
+                               [this] { measurement_period(); });
+}
+
+void Psn::originate_update(const std::vector<double>& candidates) {
+  auto update = std::make_shared<routing::RoutingUpdate>();
+  update->origin = id_;
+  update->seq = ++seq_;
+  update->reports.reserve(out_.size());
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    OutLink& o = out_[i];
+    // The node reports all its links in one update; values that didn't
+    // trip the filter themselves become the new baseline anyway.
+    o.filter.force_report(candidates[i]);
+    o.reported = candidates[i];
+    update->reports.push_back({o.id, candidates[i]});
+    net_.on_cost_reported(o.id, candidates[i]);
+    // Apply locally at once: the PSN's own table always reflects its own
+    // latest reports.
+    spf_.set_cost(o.id, candidates[i]);
+  }
+  mp_dirty_ = true;
+  ++updates_originated_;
+  net_.on_update_originated();
+  // Record our own sequence number so flooded-back copies are rejected.
+  flood_state_.accept(*update);
+  flood_copies(update, net::kInvalidLink);
+}
+
+void Psn::flood_copies(
+    const std::shared_ptr<const routing::RoutingUpdate>& update,
+    net::LinkId arrived_on) {
+  const net::LinkId except =
+      arrived_on == net::kInvalidLink
+          ? net::kInvalidLink
+          : net_.topology().link(arrived_on).reverse;
+  for (OutLink& o : out_) {
+    if (o.id == except) continue;
+    Packet pkt;
+    pkt.id = net_.next_packet_id();
+    pkt.kind = Packet::Kind::kRoutingUpdate;
+    pkt.src = update->origin;
+    pkt.bits = update->wire_bits();
+    pkt.created = net_.now();
+    pkt.update = update;
+    enqueue(o, std::move(pkt), /*priority=*/true);
+  }
+}
+
+// ---- the 1969 distance-vector mode ----
+
+double Psn::dv_link_metric(const OutLink& out) const {
+  // "The link metric was simply the instantaneous queue length at the moment
+  // of updating plus a fixed constant" (section 2.1).
+  if (!out.up) return kUnreachable;
+  return static_cast<double>(out.data_q.size() + out.update_q.size()) +
+         net_.config().dv_bias;
+}
+
+void Psn::dv_tick() {
+  dv_recompute();
+  dv_advertise();
+  net_.simulator().schedule_in(net_.config().dv_exchange_period,
+                               [this] { dv_tick(); });
+}
+
+void Psn::dv_recompute() {
+  const std::size_t n = net_.topology().node_count();
+  for (net::NodeId dst = 0; dst < n; ++dst) {
+    if (dst == id_) continue;
+    double best = kUnreachable;
+    net::LinkId best_link = net::kInvalidLink;
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      const double neighbor_dist = dv_neighbor_[i][dst];
+      if (neighbor_dist >= kUnreachable) continue;
+      const double cand = dv_link_metric(out_[i]) + neighbor_dist;
+      if (cand < best || (cand == best && out_[i].id < best_link)) {
+        best = cand;
+        best_link = out_[i].id;
+      }
+    }
+    dv_dist_[dst] = best;
+    dv_next_[dst] = best_link;
+  }
+}
+
+void Psn::dv_advertise() {
+  auto advert = std::make_shared<DistanceVector>();
+  advert->origin = id_;
+  advert->dist = dv_dist_;
+  mp_dirty_ = true;
+  ++updates_originated_;
+  net_.on_update_originated();
+  for (OutLink& o : out_) {
+    Packet pkt;
+    pkt.id = net_.next_packet_id();
+    pkt.kind = Packet::Kind::kDistanceVector;
+    pkt.src = id_;
+    pkt.bits = advert->wire_bits();
+    pkt.created = net_.now();
+    pkt.dv = advert;
+    enqueue(o, std::move(pkt), /*priority=*/true);
+  }
+}
+
+void Psn::handle_distance_vector(const Packet& pkt, net::LinkId via_link) {
+  if (!pkt.dv) throw std::logic_error("distance-vector packet without payload");
+  const net::LinkId out_link = net_.topology().link(via_link).reverse;
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    if (out_[i].id == out_link) {
+      dv_neighbor_[i] = pkt.dv->dist;
+      // The original algorithm re-minimized on new information.
+      dv_recompute();
+      return;
+    }
+  }
+  throw std::logic_error("distance vector arrived over unknown link");
+}
+
+void Psn::set_local_link_up(net::LinkId out_link, bool up) {
+  OutLink& o = out_for(out_link);
+  if (o.up == up) return;
+  o.up = up;
+  if (net_.config().algorithm == routing::RoutingAlgorithm::kDistanceVector) {
+    // No flooded updates in 1969 mode: the change shows up as an
+    // unreachable metric in the next table exchanges.
+    if (up) {
+      o.metric->on_link_up();
+      maybe_start_tx(o);
+    }
+    dv_recompute();
+    return;
+  }
+  std::vector<double> candidates(out_.size());
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    candidates[i] = out_[i].reported;
+  }
+  if (up) {
+    o.metric->on_link_up();
+    // "When a link comes up it starts with its highest cost" (section 5.4).
+    candidates[static_cast<std::size_t>(&o - out_.data())] = o.metric->initial_cost();
+    maybe_start_tx(o);
+  } else {
+    candidates[static_cast<std::size_t>(&o - out_.data())] = kDownLinkCost;
+  }
+  originate_update(candidates);
+}
+
+}  // namespace arpanet::sim

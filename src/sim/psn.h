@@ -1,0 +1,143 @@
+// PSN: one packet-switching node.
+//
+// Each PSN owns, exactly as in the ARPANET scheme:
+//   * a resident incremental SPF over its own copy of the network cost map,
+//   * destination-based single-path forwarding (first hop from its tree),
+//   * per-outgoing-link output queues — routing updates at high priority,
+//     data FIFO behind them, finite data buffering with tail drop,
+//   * the 10-second delay measurement and the link metric (min-hop, D-SPF
+//     or HN-SPF) feeding the significance filter,
+//   * origin + flood duplicate-suppression state for routing updates.
+//
+// The PSN calls back into Network for scheduling, packet hand-off to the
+// neighbor PSN, and statistics.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/metrics/delay_measurement.h"
+#include "src/metrics/link_metric.h"
+#include "src/net/topology.h"
+#include "src/routing/algorithm.h"
+#include "src/routing/flooding.h"
+#include "src/routing/multipath.h"
+#include "src/routing/significance.h"
+#include "src/routing/spf.h"
+#include "src/sim/packet.h"
+
+namespace arpanet::sim {
+
+class Network;
+
+class Psn {
+ public:
+  Psn(Network& net, net::NodeId id, routing::LinkCosts initial_costs);
+
+  /// Schedules the first measurement period (staggered per node).
+  void start();
+
+  /// A locally attached host hands in a packet for `dst`.
+  void originate_data(net::NodeId dst, double bits);
+
+  /// Host layer entry: injects a pre-framed packet (message fields set by
+  /// the caller); the PSN stamps id/src/created and forwards it.
+  void originate_packet(Packet pkt);
+
+  /// A packet arrives from a neighbor over `via_link` (an in-link of this
+  /// node).
+  void receive(Packet pkt, net::LinkId via_link);
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] const routing::SpfTree& tree() const { return spf_.tree(); }
+  [[nodiscard]] const routing::IncrementalSpf& spf() const { return spf_; }
+  [[nodiscard]] long updates_originated() const { return updates_originated_; }
+
+  /// Cost this node's metric most recently reported for one of its own
+  /// outgoing links.
+  [[nodiscard]] double reported_cost(net::LinkId out_link) const;
+
+  /// Distance-vector mode accessors (RoutingAlgorithm::kDistanceVector).
+  [[nodiscard]] double dv_distance(net::NodeId dst) const { return dv_dist_.at(dst); }
+  [[nodiscard]] net::LinkId dv_next_hop(net::NodeId dst) const {
+    return dv_next_.at(dst);
+  }
+
+  /// Marks a local outgoing link up/down. Down links advertise
+  /// kDownLinkCost and stop transmitting; on up, the metric eases back in.
+  void set_local_link_up(net::LinkId out_link, bool up);
+
+  /// Cost advertised for an unusable link: finite (so SPF stays total) but
+  /// large enough that no path uses it unless the network is partitioned.
+  static constexpr double kDownLinkCost = 1e7;
+
+  /// Distance-vector "infinity": estimates at or above this are treated as
+  /// unreachable.
+  static constexpr double kUnreachable = 1e9;
+
+ private:
+  struct Queued {
+    Packet pkt;
+    util::SimTime enqueued;
+  };
+
+  struct OutLink {
+    net::LinkId id = net::kInvalidLink;
+    std::deque<Queued> data_q;
+    std::deque<Queued> update_q;
+    bool busy = false;
+    bool up = true;
+    metrics::DelayMeasurement meas;
+    std::unique_ptr<metrics::LinkMetric> metric;
+    routing::SignificanceFilter filter;
+    double reported = 0.0;
+
+    OutLink(net::LinkId lid, metrics::DelayMeasurement m,
+            std::unique_ptr<metrics::LinkMetric> met,
+            routing::SignificanceFilter f, double initial)
+        : id{lid}, meas{std::move(m)}, metric{std::move(met)},
+          filter{std::move(f)}, reported{initial} {}
+  };
+
+  void measurement_period();
+  void forward(Packet&& pkt);
+  void enqueue(OutLink& out, Packet&& pkt, bool priority);
+  void maybe_start_tx(OutLink& out);
+  void handle_update(Packet&& pkt, net::LinkId via_link);
+  void originate_update(const std::vector<double>& candidates);
+  void flood_copies(const std::shared_ptr<const routing::RoutingUpdate>& update,
+                    net::LinkId arrived_on);
+  OutLink& out_for(net::LinkId link);
+
+  // --- the 1969 distance-vector mode ---
+  void dv_tick();
+  void dv_recompute();
+  void dv_advertise();
+  [[nodiscard]] double dv_link_metric(const OutLink& out) const;
+  void handle_distance_vector(const Packet& pkt, net::LinkId via_link);
+
+  Network& net_;
+  net::NodeId id_;
+  routing::IncrementalSpf spf_;
+  routing::FloodingState flood_state_;
+  std::vector<OutLink> out_;
+  std::uint64_t seq_ = 0;
+  long updates_originated_ = 0;
+
+  // Distance-vector state (used only under RoutingAlgorithm::kDistanceVector):
+  // own estimates, chosen next hops, and each neighbor's last advertisement
+  // (indexed like out_).
+  std::vector<double> dv_dist_;
+  std::vector<net::LinkId> dv_next_;
+  std::vector<std::vector<double>> dv_neighbor_;
+
+  // Multipath extension state: equal-cost next-hop sets, rebuilt lazily
+  // after cost changes, plus a per-destination round-robin cursor.
+  routing::MultipathSets mp_sets_;
+  std::vector<std::uint32_t> mp_cursor_;
+  bool mp_dirty_ = true;
+};
+
+}  // namespace arpanet::sim

@@ -1,0 +1,32 @@
+#include "src/sim/scenario.h"
+
+namespace arpanet::sim {
+
+traffic::TrafficMatrix scenario_matrix(const net::Topology& topo,
+                                       const ScenarioConfig& cfg) {
+  switch (cfg.shape) {
+    case TrafficShape::kUniform:
+      return traffic::TrafficMatrix::uniform(topo.node_count(),
+                                             cfg.offered_load_bps);
+    case TrafficShape::kPeakHour:
+      return traffic::TrafficMatrix::peak_hour(topo.node_count(),
+                                               cfg.offered_load_bps,
+                                               util::Rng{cfg.seed ^ 0xfeedULL});
+  }
+  throw std::invalid_argument("unknown TrafficShape");
+}
+
+ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg,
+                            const std::string& label) {
+  NetworkConfig ncfg = cfg.network;
+  ncfg.metric = cfg.metric;
+  ncfg.seed = cfg.seed;
+  Network network{topo, ncfg};
+  network.add_traffic(scenario_matrix(topo, cfg));
+  network.run_for(cfg.warmup);
+  network.reset_stats();
+  network.run_for(cfg.window);
+  return ScenarioResult{network.indicators(label), network.stats()};
+}
+
+}  // namespace arpanet::sim

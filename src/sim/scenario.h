@@ -1,0 +1,44 @@
+// Scenario runner: warm-up + measurement-window experiment harness.
+//
+// Wraps the build-network / attach-traffic / warm-up / measure sequence that
+// every whole-network experiment (Table 1, fig. 13, the examples, the
+// integration tests) repeats.
+
+#pragma once
+
+#include <string>
+
+#include "src/net/topology.h"
+#include "src/sim/network.h"
+
+namespace arpanet::sim {
+
+enum class TrafficShape { kUniform, kPeakHour };
+
+struct ScenarioConfig {
+  metrics::MetricKind metric = metrics::MetricKind::kHnSpf;
+  /// Total offered load summed over all pairs, bits/second.
+  double offered_load_bps = 300e3;
+  TrafficShape shape = TrafficShape::kPeakHour;
+  util::SimTime warmup = util::SimTime::from_sec(120);
+  util::SimTime window = util::SimTime::from_sec(600);
+  std::uint64_t seed = 0x19870726ULL;
+  NetworkConfig network;  ///< metric field is overwritten from `metric`
+};
+
+struct ScenarioResult {
+  stats::NetworkIndicators indicators;
+  NetworkStats stats;
+};
+
+/// Runs one scenario to completion and returns the measurement-window
+/// results. `label` names the indicator column (e.g. "D-SPF").
+[[nodiscard]] ScenarioResult run_scenario(const net::Topology& topo,
+                                          const ScenarioConfig& cfg,
+                                          const std::string& label);
+
+/// Builds the scenario's traffic matrix without running (for reuse).
+[[nodiscard]] traffic::TrafficMatrix scenario_matrix(const net::Topology& topo,
+                                                     const ScenarioConfig& cfg);
+
+}  // namespace arpanet::sim

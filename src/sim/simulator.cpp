@@ -1,0 +1,29 @@
+#include "src/sim/simulator.h"
+
+#include <stdexcept>
+
+namespace arpanet::sim {
+
+void Simulator::schedule_at(util::SimTime at, EventQueue::Action action) {
+  if (at < now_) throw std::logic_error("scheduling into the past");
+  queue_.schedule(at, std::move(action));
+}
+
+void Simulator::run_until(util::SimTime end) {
+  while (!queue_.empty() && queue_.next_time() <= end) {
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  util::SimTime at;
+  const EventQueue::Action action = queue_.pop(at);
+  now_ = at;
+  ++processed_;
+  action();
+  return true;
+}
+
+}  // namespace arpanet::sim

@@ -1,0 +1,39 @@
+// Simulation driver: the virtual clock plus the event queue.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Schedules at an absolute time (must not be in the past).
+  void schedule_at(util::SimTime at, EventQueue::Action action);
+  /// Schedules `delay` from now.
+  void schedule_in(util::SimTime delay, EventQueue::Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `end`; the clock is left at `end`.
+  void run_until(util::SimTime end);
+
+  /// Executes a single event if one exists. Returns false on empty queue.
+  bool step();
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  util::SimTime now_ = util::SimTime::zero();
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace arpanet::sim

@@ -1,0 +1,39 @@
+#include "src/stats/indicators.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace arpanet::stats {
+
+namespace {
+
+void row(std::ostream& os, const char* name, double a, double b, int precision) {
+  os << "  " << std::left << std::setw(34) << name << std::right << std::fixed
+     << std::setprecision(precision) << std::setw(12) << a << std::setw(12) << b
+     << '\n';
+}
+
+}  // namespace
+
+void print_table1(std::ostream& os, const NetworkIndicators& before,
+                  const NetworkIndicators& after) {
+  os << "  " << std::left << std::setw(34) << "Indicator" << std::right
+     << std::setw(12) << before.label << std::setw(12) << after.label << '\n';
+  row(os, "Internode Traffic (kbps)", before.internode_traffic_kbps,
+      after.internode_traffic_kbps, 2);
+  row(os, "Round Trip Delay (ms)", before.round_trip_delay_ms,
+      after.round_trip_delay_ms, 2);
+  row(os, "Rtng. Updates per Trunk/sec", before.updates_per_trunk_sec,
+      after.updates_per_trunk_sec, 3);
+  row(os, "Update Period per Node (sec)", before.update_period_per_node_sec,
+      after.update_period_per_node_sec, 2);
+  row(os, "Internode Actual Path (hops/msg)", before.actual_path_hops,
+      after.actual_path_hops, 2);
+  row(os, "Internode Minimum Path", before.minimum_path_hops,
+      after.minimum_path_hops, 2);
+  row(os, "Path Ratio (Actual/Min.)", before.path_ratio(), after.path_ratio(), 3);
+  row(os, "Packets dropped/sec", before.packets_dropped_per_sec,
+      after.packets_dropped_per_sec, 3);
+}
+
+}  // namespace arpanet::stats

@@ -1,0 +1,40 @@
+// Network-wide performance indicators — the rows of the paper's Table 1.
+//
+// "Internode Traffic", "Round Trip Delay", "Rtng. Updates per Trunk/sec",
+// "Update Period per Node", "Internode Actual Path", "Internode Minimum
+// Path" and their ratio. The simulator fills a NetworkIndicators from a
+// measurement window; table1 benches print May-87-style (D-SPF) vs
+// Aug-87-style (HN-SPF) columns side by side.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace arpanet::stats {
+
+struct NetworkIndicators {
+  std::string label;            ///< e.g. "D-SPF" / "HN-SPF"
+  double internode_traffic_kbps = 0.0;  ///< delivered payload rate
+  double round_trip_delay_ms = 0.0;     ///< 2x mean one-way packet delay
+  double updates_per_trunk_sec = 0.0;   ///< routing updates / trunk / second
+  double update_period_per_node_sec = 0.0;  ///< mean s between a node's updates
+  double actual_path_hops = 0.0;        ///< mean hops actually traversed
+  double minimum_path_hops = 0.0;       ///< mean min-hop path length (weighted)
+  double packets_dropped_per_sec = 0.0;
+  double delivered_packets_per_sec = 0.0;
+  /// Tail behaviour of one-way delay (congestion shows up here first).
+  double delay_p50_ms = 0.0;
+  double delay_p95_ms = 0.0;
+  double delay_p99_ms = 0.0;
+
+  [[nodiscard]] double path_ratio() const {
+    return minimum_path_hops > 0 ? actual_path_hops / minimum_path_hops : 0.0;
+  }
+};
+
+/// Prints the two-column Table-1 layout.
+void print_table1(std::ostream& os, const NetworkIndicators& before,
+                  const NetworkIndicators& after);
+
+}  // namespace arpanet::stats

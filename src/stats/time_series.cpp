@@ -1,0 +1,20 @@
+#include "src/stats/time_series.h"
+
+#include <stdexcept>
+
+namespace arpanet::stats {
+
+TimeSeries::TimeSeries(util::SimTime bucket_width) : width_{bucket_width} {
+  if (bucket_width <= util::SimTime::zero()) {
+    throw std::invalid_argument("bucket width must be positive");
+  }
+}
+
+void TimeSeries::add(util::SimTime when, double amount) {
+  if (when < util::SimTime::zero()) throw std::invalid_argument("negative time");
+  const auto idx = static_cast<std::size_t>(when.us() / width_.us());
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += amount;
+}
+
+}  // namespace arpanet::stats

@@ -1,0 +1,44 @@
+// Poisson packet arrival sampling.
+//
+// Each nonzero traffic-matrix entry becomes an independent Poisson arrival
+// process with shifted-exponential packet sizes, matching the M/M/1
+// assumptions of the HNM's delay-to-utilization conversion (mean 600 bits
+// network-wide).
+
+#pragma once
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace arpanet::traffic {
+
+/// Interarrival-gap sampler for a Poisson process.
+class PoissonProcess {
+ public:
+  PoissonProcess(double rate_per_sec, util::Rng rng);
+
+  [[nodiscard]] double rate_per_sec() const { return rate_; }
+  /// Next exponential interarrival gap.
+  [[nodiscard]] util::SimTime next_gap();
+
+ private:
+  double rate_;
+  util::Rng rng_;
+};
+
+/// Packet sizes: floor + exponential tail, with the configured overall mean.
+/// The floor models minimum header size; with the 600-bit default mean and
+/// 32-bit floor the tail mean is 568 bits.
+class PacketSizer {
+ public:
+  explicit PacketSizer(double mean_bits, double floor_bits = 32.0);
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double mean_bits() const { return mean_; }
+
+ private:
+  double mean_;
+  double floor_;
+};
+
+}  // namespace arpanet::traffic

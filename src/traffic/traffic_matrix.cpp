@@ -1,0 +1,86 @@
+#include "src/traffic/traffic_matrix.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace arpanet::traffic {
+
+TrafficMatrix::TrafficMatrix(std::size_t nodes)
+    : n_{nodes}, rates_(nodes * nodes, 0.0) {
+  if (nodes == 0) throw std::invalid_argument("empty traffic matrix");
+}
+
+void TrafficMatrix::set(net::NodeId src, net::NodeId dst, double bps) {
+  if (src == dst && bps != 0.0) throw std::invalid_argument("self traffic");
+  if (bps < 0.0) throw std::invalid_argument("negative rate");
+  rates_.at(index(src, dst)) = bps;
+}
+
+void TrafficMatrix::add(net::NodeId src, net::NodeId dst, double bps) {
+  set(src, dst, at(src, dst) + bps);
+}
+
+double TrafficMatrix::total_bps() const {
+  return std::accumulate(rates_.begin(), rates_.end(), 0.0);
+}
+
+void TrafficMatrix::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("negative scale");
+  for (double& r : rates_) r *= factor;
+}
+
+void TrafficMatrix::normalize_total(double total_bps) {
+  const double current = this->total_bps();
+  if (current <= 0.0) throw std::logic_error("cannot normalize empty matrix");
+  scale(total_bps / current);
+}
+
+TrafficMatrix TrafficMatrix::uniform(std::size_t nodes, double total_bps) {
+  TrafficMatrix m{nodes};
+  if (nodes < 2) return m;
+  const double per_pair =
+      total_bps / static_cast<double>(nodes * (nodes - 1));
+  for (net::NodeId s = 0; s < nodes; ++s) {
+    for (net::NodeId d = 0; d < nodes; ++d) {
+      if (s != d) m.set(s, d, per_pair);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix TrafficMatrix::gravity(const std::vector<double>& weights,
+                                     double total_bps) {
+  const std::size_t n = weights.size();
+  TrafficMatrix m{n};
+  double denom = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s != d) denom += weights[s] * weights[d];
+    }
+  }
+  if (denom <= 0.0) throw std::invalid_argument("gravity weights sum to zero");
+  for (net::NodeId s = 0; s < n; ++s) {
+    for (net::NodeId d = 0; d < n; ++d) {
+      if (s != d) m.set(s, d, total_bps * weights[s] * weights[d] / denom);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix TrafficMatrix::peak_hour(std::size_t nodes, double total_bps,
+                                       util::Rng rng) {
+  // Log-normal-ish weights: exp(N(0, 0.8)) approximated by summing uniforms
+  // (we avoid a normal sampler dependency; the shape — a few heavy sites,
+  // a long tail of light ones — is what matters).
+  std::vector<double> weights(nodes);
+  for (double& w : weights) {
+    double g = 0.0;
+    for (int i = 0; i < 12; ++i) g += rng.uniform();
+    g -= 6.0;  // ~N(0,1)
+    w = std::exp(0.8 * g);
+  }
+  return gravity(weights, total_bps);
+}
+
+}  // namespace arpanet::traffic

@@ -1,0 +1,73 @@
+#include "src/util/flags.h"
+
+#include <charconv>
+
+namespace arpanet::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      values_.emplace(std::string(body), "");
+    } else {
+      values_.emplace(std::string(body.substr(0, eq)),
+                      std::string(body.substr(eq + 1)));
+    }
+  }
+}
+
+std::optional<std::string> Flags::get(std::string_view name) const {
+  queried_.emplace(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(std::string_view name, std::string_view def) const {
+  const auto v = get(name);
+  return v ? *v : std::string(def);
+}
+
+double Flags::get_double(std::string_view name, double def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                ": expected a number, got '" + *v + "'");
+  }
+  return out;
+}
+
+long Flags::get_long(std::string_view name, long def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  long out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                ": expected an integer, got '" + *v + "'");
+  }
+  return out;
+}
+
+bool Flags::get_bool(std::string_view name) const {
+  return get(name).has_value();
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace arpanet::util

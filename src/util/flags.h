@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports --name=value and boolean --name. Unknown-flag detection is the
+// caller's job via unknown(): the parser records which flags were consumed
+// so a tool can reject typos instead of silently ignoring them.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arpanet::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Raw value of --name=value (empty optional if absent).
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view def) const;
+  [[nodiscard]] double get_double(std::string_view name, double def) const;
+  [[nodiscard]] long get_long(std::string_view name, long def) const;
+  /// True if --name was passed (with or without a value).
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  /// Flags present on the command line that no get* call asked about.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+  /// Positional (non --flag) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string, std::less<>> queried_;
+};
+
+}  // namespace arpanet::util

@@ -1,0 +1,60 @@
+#include "src/util/rng.h"
+
+#include <bit>
+#include <cmath>
+
+namespace arpanet::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return std::rotl(x, k); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm{seed};
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Mix the parent's state with the stream id through SplitMix64; the child
+  // seed differs in every bit for distinct stream ids with overwhelming
+  // probability, giving independent streams without jump polynomials.
+  SplitMix64 sm{s_[0] ^ rotl(s_[3], 13) ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1))};
+  return Rng{sm.next()};
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Lemire-style rejection-free-enough bounded draw; bias is negligible for
+  // the n (< 2^32) used here, and determinism is what matters. __extension__
+  // keeps -Wpedantic quiet about the GCC/Clang 128-bit builtin.
+  __extension__ using Uint128 = unsigned __int128;
+  return static_cast<std::uint64_t>((static_cast<Uint128>(next()) * n) >> 64);
+}
+
+double Rng::exponential(double mean) {
+  // Avoid log(0) by nudging u away from zero.
+  const double u = 1.0 - uniform();
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+}  // namespace arpanet::util

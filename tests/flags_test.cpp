@@ -1,0 +1,57 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace arpanet::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(FlagsTest, ParsesValuesAndBooleans) {
+  const Flags f = make({"--metric=hnspf", "--multipath", "--load-kbps=420.5"});
+  EXPECT_EQ(f.get_string("metric", "x"), "hnspf");
+  EXPECT_TRUE(f.get_bool("multipath"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_DOUBLE_EQ(f.get_double("load-kbps", 0), 420.5);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_string("metric", "hnspf"), "hnspf");
+  EXPECT_DOUBLE_EQ(f.get_double("x", 3.5), 3.5);
+  EXPECT_EQ(f.get_long("n", 7), 7);
+}
+
+TEST(FlagsTest, NumericValidation) {
+  const Flags f = make({"--n=abc", "--d=1.2.3"});
+  EXPECT_THROW((void)f.get_long("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)f.get_double("d", 0), std::invalid_argument);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = make({"input.topo", "--verbose", "out.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.topo");
+  EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(FlagsTest, UnknownTracksUnqueriedFlags) {
+  const Flags f = make({"--known=1", "--typo=2"});
+  (void)f.get_long("known", 0);
+  const auto unknown = f.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, EmptyValueIsPresent) {
+  const Flags f = make({"--name="});
+  ASSERT_TRUE(f.get("name").has_value());
+  EXPECT_EQ(*f.get("name"), "");
+}
+
+}  // namespace
+}  // namespace arpanet::util

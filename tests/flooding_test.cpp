@@ -1,0 +1,55 @@
+#include "src/routing/flooding.h"
+
+#include <gtest/gtest.h>
+
+namespace arpanet::routing {
+namespace {
+
+RoutingUpdate make_update(net::NodeId origin, std::uint64_t seq) {
+  RoutingUpdate u;
+  u.origin = origin;
+  u.seq = seq;
+  u.reports = {{0, 30.0}, {2, 45.0}};
+  return u;
+}
+
+TEST(FloodingTest, AcceptsFirstUpdateFromOrigin) {
+  FloodingState state{5};
+  EXPECT_TRUE(state.accept(make_update(1, 1)));
+  EXPECT_EQ(state.last_seq(1), 1u);
+}
+
+TEST(FloodingTest, RejectsDuplicateAndOlder) {
+  FloodingState state{5};
+  EXPECT_TRUE(state.accept(make_update(1, 3)));
+  EXPECT_FALSE(state.accept(make_update(1, 3)));  // duplicate
+  EXPECT_FALSE(state.accept(make_update(1, 2)));  // stale
+  EXPECT_TRUE(state.accept(make_update(1, 4)));   // newer
+  EXPECT_EQ(state.accepted(), 2);
+  EXPECT_EQ(state.duplicates(), 2);
+}
+
+TEST(FloodingTest, OriginsAreIndependent) {
+  FloodingState state{5};
+  EXPECT_TRUE(state.accept(make_update(1, 7)));
+  EXPECT_TRUE(state.accept(make_update(2, 1)));
+  EXPECT_EQ(state.last_seq(1), 7u);
+  EXPECT_EQ(state.last_seq(2), 1u);
+}
+
+TEST(FloodingTest, SequenceGapsAreFine) {
+  FloodingState state{3};
+  EXPECT_TRUE(state.accept(make_update(0, 5)));
+  EXPECT_TRUE(state.accept(make_update(0, 50)));
+}
+
+TEST(FloodingTest, WireBitsGrowWithReports) {
+  RoutingUpdate small = make_update(0, 1);
+  RoutingUpdate large = small;
+  for (int i = 0; i < 10; ++i) large.reports.push_back({5, 1.0});
+  EXPECT_GT(large.wire_bits(), small.wire_bits());
+  EXPECT_DOUBLE_EQ(small.wire_bits(), 128.0 + 32.0 * 2);
+}
+
+}  // namespace
+}  // namespace arpanet::routing

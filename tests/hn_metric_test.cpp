@@ -1,0 +1,201 @@
+#include "src/core/hn_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/mm1.h"
+#include "src/net/line_type.h"
+
+namespace arpanet::core {
+namespace {
+
+using net::LineType;
+using util::DataRate;
+using util::SimTime;
+
+LineTypeParams params56() {
+  return LineParamsTable::arpanet_defaults().for_type(LineType::kTerrestrial56);
+}
+
+HnMetric make56(SimTime prop = SimTime::zero()) {
+  return HnMetric{params56(), DataRate::kbps(56), prop};
+}
+
+/// Drives the metric with a constant utilization long enough for both the
+/// averaging filter and the movement limiter to converge; returns the
+/// settled cost. (No early exit: the report can plateau at a clip bound
+/// while the average is still moving.)
+double settle(HnMetric& m, double utilization, int periods = 200) {
+  double cost = m.last_reported();
+  for (int i = 0; i < periods; ++i) cost = m.update_from_utilization(utilization);
+  return cost;
+}
+
+TEST(HnMetricTest, StartsAtMaxAndEasesIn) {
+  HnMetric m = make56();
+  // "When a link comes up it starts with its highest cost."
+  EXPECT_DOUBLE_EQ(m.last_reported(), 90.0);
+  // Idle traffic pulls it down by at most the down-limit (15) per period.
+  const double c1 = m.update_from_utilization(0.0);
+  EXPECT_DOUBLE_EQ(c1, 90.0 - params56().down_limit());
+  const double c2 = m.update_from_utilization(0.0);
+  EXPECT_DOUBLE_EQ(c2, c1 - params56().down_limit());
+  // Eventually reaches the floor.
+  EXPECT_DOUBLE_EQ(settle(m, 0.0), 30.0);
+}
+
+TEST(HnMetricTest, SettledCostsMatchEquilibriumMap) {
+  for (const double u : {0.0, 0.2, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0}) {
+    HnMetric m = make56();
+    EXPECT_NEAR(settle(m, u), m.equilibrium_cost(u), 1e-9) << u;
+  }
+}
+
+TEST(HnMetricTest, FlatUntilThreshold) {
+  HnMetric m = make56();
+  EXPECT_DOUBLE_EQ(m.equilibrium_cost(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(m.equilibrium_cost(0.49), 30.0);
+  EXPECT_DOUBLE_EQ(m.equilibrium_cost(0.5), 30.0);
+  EXPECT_GT(m.equilibrium_cost(0.55), 30.0);
+  EXPECT_DOUBLE_EQ(m.equilibrium_cost(1.0), 90.0);
+}
+
+TEST(HnMetricTest, ReportsAlwaysWithinBounds) {
+  HnMetric m = make56();
+  // Adversarial utilization sequence: extremes and mid values.
+  const double seq[] = {1.0, 0.0, 1.0, 1.0, 0.0, 0.3, 0.99, 0.0, 1.0, 0.5};
+  for (const double u : seq) {
+    const double c = m.update_from_utilization(u);
+    EXPECT_GE(c, m.min_cost());
+    EXPECT_LE(c, m.max_cost());
+  }
+}
+
+TEST(HnMetricTest, UpMovementLimited) {
+  HnMetric m = make56();
+  settle(m, 0.0);  // at the floor, 30
+  // Sudden saturation: raw jumps to 90 but the report may rise only by
+  // up_limit (16) per period.
+  const double c1 = m.update_from_utilization(1.0);
+  EXPECT_LE(c1, 30.0 + params56().up_limit());
+  const double c2 = m.update_from_utilization(1.0);
+  EXPECT_LE(c2, c1 + params56().up_limit());
+  EXPECT_GT(c2, c1);
+}
+
+TEST(HnMetricTest, AveragingFilterHalvesSampleWeight) {
+  HnMetric m = make56();
+  m.reset_state(30.0, 0.0);
+  (void)m.update_from_utilization(1.0);
+  // avg = 0.5*1.0 + 0.5*0.0.
+  EXPECT_DOUBLE_EQ(m.last_average_utilization(), 0.5);
+  (void)m.update_from_utilization(1.0);
+  EXPECT_DOUBLE_EQ(m.last_average_utilization(), 0.75);
+}
+
+/// The epsilon-problem fix: under a sustained oscillation the reported cost
+/// marches up one unit per cycle because the down-limit is one unit smaller
+/// than the up-limit (section 5.4).
+TEST(HnMetricTest, MarchUpUnderOscillation) {
+  HnMetric m = make56();
+  // Sustained alternation between saturated and idle periods: the averaged
+  // utilization cycles between 2/3 and 1/3, so the raw cost swings 50 <-> 10
+  // — beyond both movement limits once the report sits between them. Start
+  // at the floor with the average already in its cycle.
+  m.reset_state(30.0, 1.0 / 3.0);
+  double before = m.last_reported();  // 30 (clipped at the floor)
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    (void)m.update_from_utilization(1.0);                 // up, clamped at +16
+    const double after = m.update_from_utilization(0.0);  // down, clamped at -15
+    // Each full cycle leaves the reported cost one unit higher.
+    EXPECT_NEAR(after - before, 1.0, 1e-9) << cycle;
+    before = after;
+  }
+}
+
+TEST(HnMetricTest, SatelliteMinIsTwiceTerrestrialButSameMax) {
+  HnMetric sat{params56(), DataRate::kbps(56), SimTime::from_ms(130)};
+  HnMetric terr{params56(), DataRate::kbps(56), SimTime::zero()};
+  EXPECT_DOUBLE_EQ(sat.min_cost(), 60.0);
+  EXPECT_DOUBLE_EQ(terr.min_cost(), 30.0);
+  EXPECT_DOUBLE_EQ(sat.equilibrium_cost(1.0), terr.equilibrium_cost(1.0));
+}
+
+TEST(HnMetricTest, DelayEntryMatchesUtilizationEntry) {
+  HnMetric a = make56(SimTime::from_ms(10));
+  HnMetric b = make56(SimTime::from_ms(10));
+  for (const double u : {0.1, 0.5, 0.8}) {
+    const SimTime d =
+        delay_from_utilization(u, DataRate::kbps(56), SimTime::from_ms(10));
+    // Tolerance covers the microsecond quantization of SimTime.
+    EXPECT_NEAR(a.update_from_delay(d), b.update_from_utilization(u), 0.01);
+  }
+}
+
+TEST(HnMetricTest, OnLinkUpResetsToMax) {
+  HnMetric m = make56();
+  settle(m, 0.0);
+  EXPECT_DOUBLE_EQ(m.last_reported(), 30.0);
+  m.on_link_up();
+  EXPECT_DOUBLE_EQ(m.last_reported(), 90.0);
+  EXPECT_DOUBLE_EQ(m.last_average_utilization(), 1.0);
+}
+
+TEST(HnMetricTest, RejectsBadParams) {
+  LineTypeParams bad = params56();
+  bad.flat_threshold = 1.5;
+  EXPECT_THROW((HnMetric{bad, DataRate::kbps(56), SimTime::zero()}),
+               std::invalid_argument);
+  bad = params56();
+  bad.max_cost = bad.base_min;  // no range
+  EXPECT_THROW((HnMetric{bad, DataRate::kbps(56), SimTime::zero()}),
+               std::invalid_argument);
+}
+
+TEST(HnMetricTest, SampleClampedToUnitInterval) {
+  HnMetric m = make56();
+  m.reset_state(30.0, 0.0);
+  (void)m.update_from_utilization(42.0);  // absurd input
+  EXPECT_LE(m.last_average_utilization(), 1.0);
+  (void)m.update_from_utilization(-3.0);
+  EXPECT_GE(m.last_average_utilization(), 0.0);
+}
+
+// ---- parameterized sweep over every line type ----
+
+class HnAllTypes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(LineTypes, HnAllTypes,
+                         ::testing::Range(0, net::kLineTypeCount));
+
+TEST_P(HnAllTypes, EquilibriumCostMonotoneAndBounded) {
+  const auto type = static_cast<LineType>(GetParam());
+  const auto& info = net::info(type);
+  const auto params =
+      LineParamsTable::arpanet_defaults().for_type(type);
+  HnMetric m{params, info.rate, info.default_prop_delay};
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0 + 1e-9; u += 0.01) {
+    const double c = m.equilibrium_cost(u);
+    EXPECT_GE(c, m.min_cost());
+    EXPECT_LE(c, m.max_cost());
+    EXPECT_GE(c, prev);  // monotone non-decreasing in utilization
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(m.equilibrium_cost(1.0), params.max_cost);
+}
+
+TEST_P(HnAllTypes, DynamicsConvergeFromBothEnds) {
+  const auto type = static_cast<LineType>(GetParam());
+  const auto& info = net::info(type);
+  const auto params = LineParamsTable::arpanet_defaults().for_type(type);
+  for (const double u : {0.0, 0.3, 0.6, 0.9}) {
+    HnMetric from_top{params, info.rate, info.default_prop_delay};
+    HnMetric from_bottom{params, info.rate, info.default_prop_delay};
+    from_bottom.reset_state(from_bottom.min_cost(), 0.0);
+    EXPECT_NEAR(settle(from_top, u), settle(from_bottom, u), 1e-9)
+        << to_string(type) << " u=" << u;
+  }
+}
+
+}  // namespace
+}  // namespace arpanet::core

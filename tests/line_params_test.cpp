@@ -1,0 +1,114 @@
+#include "src/core/line_params.h"
+
+#include <gtest/gtest.h>
+
+namespace arpanet::core {
+namespace {
+
+using net::LineType;
+
+class AllLineTypes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(LineTypes, AllLineTypes,
+                         ::testing::Range(0, net::kLineTypeCount));
+
+/// Section 4.4: "the maximum value for a particular line is approximately
+/// three times the minimum value for a zero-propagation-delay line of the
+/// same type."
+TEST_P(AllLineTypes, MaxIsThreeTimesZeroPropMin) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const LineTypeParams& p = table.for_type(static_cast<LineType>(GetParam()));
+  EXPECT_NEAR(p.max_cost / p.base_min, 3.0, 1e-9);
+}
+
+TEST_P(AllLineTypes, FlatRegionThenLinearRise) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const LineTypeParams& p = table.for_type(static_cast<LineType>(GetParam()));
+  // Raw cost equals base_min exactly at the threshold and max at 1.
+  EXPECT_NEAR(p.raw_cost(p.flat_threshold), p.base_min, 1e-9);
+  EXPECT_NEAR(p.raw_cost(1.0), p.max_cost, 1e-9);
+  // Below the threshold raw is under the minimum (the clip flattens it).
+  EXPECT_LT(p.raw_cost(p.flat_threshold / 2), p.base_min);
+}
+
+TEST_P(AllLineTypes, MovementLimitsFollowHalfHopRule) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const LineTypeParams& p = table.for_type(static_cast<LineType>(GetParam()));
+  // "a little more than a half-hop" up...
+  EXPECT_GT(p.up_limit(), p.base_min / 2.0);
+  EXPECT_LE(p.up_limit(), p.base_min / 2.0 + 1.0 + 1e-9);
+  // ...down exactly one unit less (the march-up asymmetry)...
+  EXPECT_NEAR(p.up_limit() - p.down_limit(), 1.0, 1e-9);
+  // ...and the update threshold a little less than a half-hop.
+  EXPECT_LT(p.change_threshold(), p.base_min / 2.0);
+  EXPECT_GT(p.change_threshold(), 0.0);
+}
+
+TEST(LineParamsTest, FiftyPercentThresholdFor56kTerrestrial) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const LineTypeParams& p = table.for_type(LineType::kTerrestrial56);
+  EXPECT_DOUBLE_EQ(p.flat_threshold, 0.5);
+  EXPECT_DOUBLE_EQ(p.base_min, 30.0);
+  EXPECT_DOUBLE_EQ(p.max_cost, 90.0);
+}
+
+TEST(LineParamsTest, MinCostGrowsSlowlyWithPropagation) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const LineTypeParams& p = table.for_type(LineType::kTerrestrial56);
+  const double zero = p.min_cost(util::SimTime::zero());
+  const double terr = p.min_cost(util::SimTime::from_ms(10));
+  const double sat = p.min_cost(util::SimTime::from_ms(130));
+  EXPECT_DOUBLE_EQ(zero, 30.0);
+  EXPECT_GT(terr, zero);
+  EXPECT_LT(terr, 35.0);  // "slowly increasing"
+  EXPECT_DOUBLE_EQ(sat, 60.0);
+  // Capped at 2x: longer propagation doesn't raise it further.
+  EXPECT_DOUBLE_EQ(p.min_cost(util::SimTime::from_ms(500)), 60.0);
+}
+
+/// Section 4.4 anchor: "a fully utilized 9.6 kb/s line can report a value
+/// only about 7 times greater than that by an idle 56 kb/s line."
+TEST(LineParamsTest, SaturatedSlowLineVsIdleFastLine) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const double max96 = table.for_type(LineType::kTerrestrial9_6).max_cost;
+  const double idle56 = table.for_type(LineType::kTerrestrial56).base_min;
+  EXPECT_NEAR(max96 / idle56, 7.0, 0.01);
+}
+
+/// Section 4.4 anchor: "an idle 56 kb/s satellite line appears more
+/// favorable than an idle 9.6 kb/s line."
+TEST(LineParamsTest, IdleSatellite56CheaperThanIdle96) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const double idle_sat56 = table.for_type(LineType::kSatellite56)
+                                .min_cost(util::SimTime::from_ms(130));
+  const double idle_terr96 = table.for_type(LineType::kTerrestrial9_6)
+                                 .min_cost(util::SimTime::from_ms(10));
+  EXPECT_LT(idle_sat56, idle_terr96);
+}
+
+/// Section 4.4 anchor: "a 56 kb/s satellite trunk can appear no more than
+/// twice as expensive as its terrestrial counterpart" at any utilization.
+TEST(LineParamsTest, SatellitePenaltyBoundedByTwo) {
+  const auto table = LineParamsTable::arpanet_defaults();
+  const LineTypeParams& p = table.for_type(LineType::kSatellite56);
+  const double sat_min = p.min_cost(util::SimTime::from_ms(130));
+  const double terr_min = p.min_cost(util::SimTime::from_ms(0));
+  for (double u = 0.0; u <= 1.0; u += 0.05) {
+    const double sat = std::clamp(p.raw_cost(u), sat_min, p.max_cost);
+    const double terr = std::clamp(p.raw_cost(u), terr_min, p.max_cost);
+    EXPECT_LE(sat / terr, 2.0 + 1e-9) << u;
+  }
+  // Equal when saturated (satellite bandwidth is used under load).
+  EXPECT_DOUBLE_EQ(std::clamp(p.raw_cost(1.0), sat_min, p.max_cost),
+                   std::clamp(p.raw_cost(1.0), terr_min, p.max_cost));
+}
+
+TEST(LineParamsTest, SetOverridesEntry) {
+  auto table = LineParamsTable::arpanet_defaults();
+  table.set(LineType::kTerrestrial56,
+            {.base_min = 10.0, .max_cost = 30.0, .flat_threshold = 0.3});
+  EXPECT_DOUBLE_EQ(table.for_type(LineType::kTerrestrial56).base_min, 10.0);
+}
+
+}  // namespace
+}  // namespace arpanet::core

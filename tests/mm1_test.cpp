@@ -1,0 +1,82 @@
+#include "src/core/mm1.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/line_type.h"
+
+namespace arpanet::core {
+namespace {
+
+using util::DataRate;
+using util::SimTime;
+
+TEST(Mm1Test, ServiceTimeOf56k) {
+  // 600 bits / 56 kb/s = 10.714 ms — the paper's network-wide average.
+  EXPECT_NEAR(mean_service_time(DataRate::kbps(56)).ms(), 10.714, 0.001);
+}
+
+TEST(Mm1Test, IdleDelayGivesZeroUtilization) {
+  const auto rate = DataRate::kbps(56);
+  const auto prop = SimTime::from_ms(10);
+  const SimTime idle = mean_service_time(rate) + prop;
+  EXPECT_DOUBLE_EQ(utilization_from_delay(idle, rate, prop), 0.0);
+  // Below the floor (e.g. measurement noise) also clamps to zero.
+  EXPECT_DOUBLE_EQ(utilization_from_delay(SimTime::from_ms(1), rate, prop), 0.0);
+}
+
+TEST(Mm1Test, RoundTripThroughModel) {
+  const auto rate = DataRate::kbps(56);
+  const auto prop = SimTime::from_ms(10);
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.95}) {
+    const SimTime d = delay_from_utilization(rho, rate, prop);
+    EXPECT_NEAR(utilization_from_delay(d, rate, prop), rho, 1e-4) << rho;
+  }
+}
+
+TEST(Mm1Test, DelayGrowsWithUtilization) {
+  const auto rate = DataRate::kbps(9.6);
+  const auto prop = SimTime::zero();
+  SimTime prev = SimTime::zero();
+  for (double rho = 0.0; rho < 1.0; rho += 0.05) {
+    const SimTime d = delay_from_utilization(rho, rate, prop);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Mm1Test, UtilizationClampsAtCeiling) {
+  const auto rate = DataRate::kbps(56);
+  const auto prop = SimTime::zero();
+  // An hour of measured delay is beyond any stable queue: clamp.
+  EXPECT_DOUBLE_EQ(
+      utilization_from_delay(SimTime::from_sec(3600), rate, prop),
+      kMaxUtilization);
+  // And the forward direction clamps rho > ceiling.
+  EXPECT_EQ(delay_from_utilization(5.0, rate, prop),
+            delay_from_utilization(kMaxUtilization, rate, prop));
+}
+
+TEST(Mm1Test, PropagationDelayExcludedFromQueueEstimate) {
+  const auto rate = DataRate::kbps(56);
+  // Same system time, different propagation: same utilization estimate.
+  const SimTime system = SimTime::from_ms(40);
+  const double terr = utilization_from_delay(system + SimTime::from_ms(10),
+                                             rate, SimTime::from_ms(10));
+  const double sat = utilization_from_delay(system + SimTime::from_ms(130),
+                                            rate, SimTime::from_ms(130));
+  EXPECT_DOUBLE_EQ(terr, sat);
+  EXPECT_GT(terr, 0.5);
+}
+
+TEST(Mm1Test, SlowerLineSaturatesAtLowerDelay) {
+  // The same 100 ms measured delay implies far higher utilization on a
+  // 56 kb/s line (service 10.7 ms) than it would suggest relative to a
+  // 9.6 kb/s line (service 62.5 ms).
+  const SimTime d = SimTime::from_ms(100);
+  const double fast = utilization_from_delay(d, DataRate::kbps(56), SimTime::zero());
+  const double slow = utilization_from_delay(d, DataRate::kbps(9.6), SimTime::zero());
+  EXPECT_GT(fast, slow);
+}
+
+}  // namespace
+}  // namespace arpanet::core

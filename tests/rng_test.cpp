@@ -1,0 +1,102 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arpanet::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng{11};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng{13};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng{17};
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 8'000; ++i) ++counts[rng.uniform_index(8)];
+  for (const int c : counts) EXPECT_GT(c, 800);  // ~1000 expected each
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng{19};
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng{23};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng{29};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndStable) {
+  const Rng parent{99};
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(2);
+  Rng s1_again = parent.split(1);
+  int same12 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = s1.next();
+    EXPECT_EQ(a, s1_again.next());  // same id -> same stream
+    if (a == s2.next()) ++same12;
+  }
+  EXPECT_EQ(same12, 0);  // different id -> different stream
+}
+
+TEST(RngTest, SplitDoesNotAdvanceParent) {
+  Rng p1{5};
+  Rng p2{5};
+  (void)p1.split(123);
+  EXPECT_EQ(p1.next(), p2.next());
+}
+
+}  // namespace
+}  // namespace arpanet::util

@@ -1,0 +1,101 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace arpanet::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_ms(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::from_ms(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::from_ms(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(SimTime::from_ms(7), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::from_ms(42), [&] { seen = sim.now(); });
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(seen, SimTime::from_ms(42));
+  EXPECT_EQ(sim.now(), SimTime::from_sec(1));  // left at the horizon
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(SimTime::from_ms(10), [&] {
+    times.push_back(sim.now().ms());
+    sim.schedule_in(SimTime::from_ms(10), [&] { times.push_back(sim.now().ms()); });
+  });
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(times, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_ms(10), [&] { ++fired; });
+  sim.schedule_at(SimTime::from_ms(999), [&] { ++fired; });
+  sim.run_until(SimTime::from_ms(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run_until(SimTime::from_sec(2));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime::from_ms(50), [] {});
+  sim.run_until(SimTime::from_ms(100));
+  EXPECT_THROW(sim.schedule_at(SimTime::from_ms(10), [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::from_ms(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(SimulatorTest, EventsCanCascadeAtSameTime) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(SimTime::zero(), recurse);
+  };
+  sim.schedule_at(SimTime::from_ms(1), recurse);
+  sim.run_until(SimTime::from_ms(2));
+  EXPECT_EQ(depth, 5);
+}
+
+}  // namespace
+}  // namespace arpanet::sim

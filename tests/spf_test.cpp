@@ -1,0 +1,231 @@
+#include "src/routing/spf.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/net/builders/builders.h"
+#include "src/routing/routing_table.h"
+#include "src/util/rng.h"
+
+namespace arpanet::routing {
+namespace {
+
+using net::LineType;
+using net::Topology;
+
+Topology diamond() {
+  // a -> b -> d and a -> c -> d.
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  const auto d = t.add_node("d");
+  t.add_duplex(a, b, LineType::kTerrestrial56);  // links 0,1
+  t.add_duplex(a, c, LineType::kTerrestrial56);  // links 2,3
+  t.add_duplex(b, d, LineType::kTerrestrial56);  // links 4,5
+  t.add_duplex(c, d, LineType::kTerrestrial56);  // links 6,7
+  return t;
+}
+
+TEST(SpfTest, ShortestPathOnDiamond) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  costs[0] = 5.0;  // a->b expensive: route to d must go a->c->d
+  const SpfTree tree = Spf::compute(t, 0, costs);
+  EXPECT_DOUBLE_EQ(tree.dist[3], 2.0);
+  EXPECT_EQ(tree.first_hop[3], 2u);  // a->c
+  EXPECT_EQ(tree.hops[3], 2);
+}
+
+TEST(SpfTest, RootFields) {
+  const Topology t = diamond();
+  const LinkCosts costs(t.link_count(), 1.0);
+  const SpfTree tree = Spf::compute(t, 2, costs);
+  EXPECT_EQ(tree.root, 2u);
+  EXPECT_DOUBLE_EQ(tree.dist[2], 0.0);
+  EXPECT_EQ(tree.parent_link[2], net::kInvalidLink);
+  EXPECT_EQ(tree.hops[2], 0);
+}
+
+TEST(SpfTest, TieBreaksByLowestLinkId) {
+  const Topology t = diamond();
+  const LinkCosts costs(t.link_count(), 1.0);
+  const SpfTree tree = Spf::compute(t, 0, costs);
+  // Both a->b->d and a->c->d cost 2; canonical parent of d is the
+  // lower-id in-link (b->d is link 4, c->d is link 6).
+  EXPECT_DOUBLE_EQ(tree.dist[3], 2.0);
+  EXPECT_EQ(tree.parent_link[3], 4u);
+  EXPECT_EQ(tree.first_hop[3], 0u);
+}
+
+TEST(SpfTest, RejectsNonPositiveCosts) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  costs[3] = 0.0;
+  EXPECT_THROW((void)Spf::compute(t, 0, costs), std::invalid_argument);
+  costs[3] = -1.0;
+  EXPECT_THROW((void)Spf::compute(t, 0, costs), std::invalid_argument);
+}
+
+TEST(SpfTest, RejectsWrongCostVectorSize) {
+  const Topology t = diamond();
+  const LinkCosts costs(3, 1.0);
+  EXPECT_THROW((void)Spf::compute(t, 0, costs), std::invalid_argument);
+}
+
+TEST(SpfTest, HopsCountTreeEdges) {
+  const Topology t = net::builders::ring(6);
+  const LinkCosts costs(t.link_count(), 1.0);
+  const SpfTree tree = Spf::compute(t, 0, costs);
+  EXPECT_EQ(tree.hops[3], 3);  // opposite side of a 6-ring
+  EXPECT_EQ(tree.hops[1], 1);
+  EXPECT_EQ(tree.hops[5], 1);
+}
+
+TEST(SpfTest, UsesLink) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  costs[0] = 5.0;
+  const SpfTree tree = Spf::compute(t, 0, costs);
+  EXPECT_TRUE(tree.uses_link(t, 2));   // a->c in tree
+  EXPECT_FALSE(tree.uses_link(t, 0));  // a->b not in tree
+}
+
+// ---- incremental SPF ----
+
+TEST(IncrementalSpfTest, SkipsIncreaseOnNonTreeLink) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  costs[0] = 5.0;  // a->b not in tree from a
+  IncrementalSpf inc{t, 0, costs};
+  const long before = inc.skipped_updates();
+  inc.set_cost(0, 6.0);  // increase on non-tree link: no work
+  EXPECT_EQ(inc.skipped_updates(), before + 1);
+  EXPECT_DOUBLE_EQ(inc.tree().dist[3], 2.0);
+}
+
+TEST(IncrementalSpfTest, AppliesDecrease) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  costs[0] = 5.0;
+  IncrementalSpf inc{t, 0, costs};
+  inc.set_cost(0, 0.5);  // now a->b->d is cheaper
+  EXPECT_DOUBLE_EQ(inc.tree().dist[1], 0.5);
+  EXPECT_DOUBLE_EQ(inc.tree().dist[3], 1.5);
+  EXPECT_EQ(inc.tree().first_hop[3], 0u);
+}
+
+TEST(IncrementalSpfTest, AppliesIncreaseOnTreeLink) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  IncrementalSpf inc{t, 0, costs};
+  inc.set_cost(0, 10.0);  // a->b was (tied) in tree; push all through c
+  EXPECT_DOUBLE_EQ(inc.tree().dist[1], 3.0);  // a->c->d->b
+  EXPECT_DOUBLE_EQ(inc.tree().dist[3], 2.0);
+  EXPECT_EQ(inc.tree().first_hop[1], 2u);
+}
+
+TEST(IncrementalSpfTest, NoopOnEqualCost) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  IncrementalSpf inc{t, 0, costs};
+  inc.set_cost(0, 1.0);
+  EXPECT_EQ(inc.skipped_updates(), 0);
+  EXPECT_EQ(inc.incremental_updates(), 0);
+}
+
+/// Property: after any stream of random cost changes, the incremental tree
+/// is identical to a full recompute — distances, parents, first hops, hops.
+TEST(IncrementalSpfTest, MatchesFullRecomputeOnRandomGraphs) {
+  util::Rng rng{2024};
+  for (int trial = 0; trial < 20; ++trial) {
+    const Topology t = net::builders::random_connected(
+        16, 12, rng, LineType::kTerrestrial56);
+    LinkCosts costs(t.link_count());
+    for (double& c : costs) c = 1.0 + rng.uniform_index(5);
+    IncrementalSpf inc{t, 0, costs};
+    for (int step = 0; step < 60; ++step) {
+      const auto link = static_cast<net::LinkId>(
+          rng.uniform_index(t.link_count()));
+      const double new_cost = 1.0 + static_cast<double>(rng.uniform_index(5));
+      inc.set_cost(link, new_cost);
+      costs[link] = new_cost;
+
+      const SpfTree full = Spf::compute(t, 0, costs);
+      for (net::NodeId v = 0; v < t.node_count(); ++v) {
+        ASSERT_DOUBLE_EQ(inc.tree().dist[v], full.dist[v])
+            << "trial " << trial << " step " << step << " node " << v;
+        ASSERT_EQ(inc.tree().parent_link[v], full.parent_link[v]);
+        ASSERT_EQ(inc.tree().first_hop[v], full.first_hop[v]);
+        ASSERT_EQ(inc.tree().hops[v], full.hops[v]);
+      }
+    }
+    EXPECT_GT(inc.skipped_updates() + inc.incremental_updates(), 0);
+  }
+}
+
+TEST(IncrementalSpfTest, ResetReplacesAllCosts) {
+  const Topology t = diamond();
+  IncrementalSpf inc{t, 0, LinkCosts(t.link_count(), 1.0)};
+  LinkCosts costs(t.link_count(), 2.0);
+  costs[2] = 0.5;
+  inc.reset(costs);
+  EXPECT_EQ(inc.tree().first_hop[3], 2u);
+}
+
+// ---- min-hop lengths ----
+
+TEST(MinHopTest, RingDistances) {
+  const Topology t = net::builders::ring(8);
+  const auto d = min_hop_lengths(t);
+  EXPECT_EQ(d[0][4], 4);
+  EXPECT_EQ(d[0][7], 1);
+  EXPECT_EQ(d[3][3], 0);
+  EXPECT_EQ(d[2][6], 4);
+}
+
+// ---- forwarding tables / path trace ----
+
+TEST(ForwardingTest, TraceFollowsShortestPath) {
+  const Topology t = diamond();
+  LinkCosts costs(t.link_count(), 1.0);
+  costs[0] = 5.0;
+  const auto tables = ForwardingTables::compute_all(t, costs);
+  const PathTrace trace = trace_path(t, tables, 0, 3);
+  EXPECT_TRUE(trace.reached);
+  EXPECT_FALSE(trace.looped);
+  EXPECT_EQ(trace.hops(), 2);
+  EXPECT_EQ(trace.links[0], 2u);
+}
+
+TEST(ForwardingTest, DetectsLoopFromInconsistentTables) {
+  const Topology t = diamond();
+  const LinkCosts costs(t.link_count(), 1.0);
+  auto tables = ForwardingTables::compute_all(t, costs);
+  // Sabotage: b forwards to a for destination d, a forwards to b.
+  tables.set_next_hop(0, 3, 0);  // a -> b
+  tables.set_next_hop(1, 3, 1);  // b -> a (link 1 is b->a)
+  const PathTrace trace = trace_path(t, tables, 0, 3);
+  EXPECT_TRUE(trace.looped);
+  EXPECT_FALSE(trace.reached);
+}
+
+TEST(ForwardingTest, ConsistentTablesNeverLoop) {
+  util::Rng rng{555};
+  const Topology t = net::builders::random_connected(12, 8, rng);
+  LinkCosts costs(t.link_count());
+  for (double& c : costs) c = 1.0 + rng.uniform(0.0, 3.0);
+  const auto tables = ForwardingTables::compute_all(t, costs);
+  for (net::NodeId s = 0; s < t.node_count(); ++s) {
+    for (net::NodeId d = 0; d < t.node_count(); ++d) {
+      if (s == d) continue;
+      const PathTrace trace = trace_path(t, tables, s, d);
+      EXPECT_TRUE(trace.reached);
+      EXPECT_FALSE(trace.looped);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arpanet::routing

@@ -1,0 +1,102 @@
+// Failure-injection and long-haul robustness sweeps. These are the "keeps
+// running no matter what" tests: random trunk flaps, saturation, metric
+// churn — invariants must hold throughout.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/convergence.h"
+#include "src/net/builders/builders.h"
+#include "src/sim/network.h"
+
+namespace arpanet::sim {
+namespace {
+
+using util::SimTime;
+
+/// Random trunk flaps while traffic flows: the network must never lose
+/// conservation, never deadlock, and must converge once flapping stops.
+/// Parameterized over metric kinds.
+class FlapStress : public ::testing::TestWithParam<metrics::MetricKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Metrics, FlapStress,
+                         ::testing::Values(metrics::MetricKind::kMinHop,
+                                           metrics::MetricKind::kDspf,
+                                           metrics::MetricKind::kHnSpf));
+
+TEST_P(FlapStress, RandomTrunkFlapsNeverBreakInvariants) {
+  const auto net87 = net::builders::arpanet87();
+  NetworkConfig cfg;
+  cfg.metric = GetParam();
+  Network net{net87.topo, cfg};
+  net.add_traffic(
+      traffic::TrafficMatrix::peak_hour(net87.topo.node_count(), 300e3,
+                                        util::Rng{7}));
+  util::Rng rng{GetParam() == metrics::MetricKind::kDspf ? 21u : 22u};
+
+  // Flap random non-critical trunks. To keep the network connected we only
+  // ever have one trunk down at a time.
+  net::LinkId down = net::kInvalidLink;
+  for (int round = 0; round < 12; ++round) {
+    net.run_for(SimTime::from_sec(15));
+    if (down != net::kInvalidLink) {
+      net.set_trunk_up(down, true);
+      down = net::kInvalidLink;
+    } else {
+      const auto trunk = static_cast<net::LinkId>(
+          2 * rng.uniform_index(net87.topo.trunk_count()));
+      net.set_trunk_up(trunk, false);
+      down = trunk;
+    }
+  }
+  if (down != net::kInvalidLink) net.set_trunk_up(down, true);
+
+  // Quiesce and drain.
+  net.run_for(SimTime::from_sec(60));
+  net.stop_traffic();
+  net.run_for(SimTime::from_sec(60));
+
+  const NetworkStats& s = net.stats();
+  EXPECT_GT(s.packets_delivered, 10'000);
+  EXPECT_EQ(s.packets_generated,
+            s.packets_delivered + s.packets_dropped_queue +
+                s.packets_dropped_unreachable + s.packets_dropped_loop);
+  // SPF forwarding between consistent maps never loops.
+  EXPECT_EQ(s.packets_dropped_loop, 0);
+  // After the last recovery and a quiet minute, all PSNs agree again.
+  EXPECT_TRUE(analysis::costs_converged(net));
+}
+
+TEST(StressTest, SustainedSaturationStaysLive) {
+  // 3x network capacity for five simulated minutes: the simulator must stay
+  // live (updates flowing, packets delivered at capacity), not wedge.
+  const auto two = net::builders::two_region(4);
+  NetworkConfig cfg;
+  cfg.metric = metrics::MetricKind::kHnSpf;
+  cfg.queue_capacity = 15;
+  Network net{two.topo, cfg};
+  net.add_traffic(traffic::TrafficMatrix::uniform(two.topo.node_count(), 600e3));
+  net.run_for(SimTime::from_sec(300));
+  const NetworkStats& s = net.stats();
+  EXPECT_GT(s.packets_delivered, 50'000);
+  EXPECT_GT(s.packets_dropped_queue, 10'000);
+  EXPECT_GT(s.updates_originated, 50);  // control plane survived
+}
+
+TEST(StressTest, DelayPercentilesOrdered) {
+  const auto net87 = net::builders::arpanet87();
+  NetworkConfig cfg;
+  Network net{net87.topo, cfg};
+  net.add_traffic(
+      traffic::TrafficMatrix::peak_hour(net87.topo.node_count(), 420e3,
+                                        util::Rng{3}));
+  net.run_for(SimTime::from_sec(180));
+  const auto ind = net.indicators("x");
+  EXPECT_GT(ind.delay_p50_ms, 0.0);
+  EXPECT_LE(ind.delay_p50_ms, ind.delay_p95_ms);
+  EXPECT_LE(ind.delay_p95_ms, ind.delay_p99_ms);
+  // Mean sits between median and p99 for this right-skewed distribution.
+  EXPECT_GT(ind.delay_p99_ms, ind.round_trip_delay_ms / 2.0);
+}
+
+}  // namespace
+}  // namespace arpanet::sim

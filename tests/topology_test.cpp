@@ -1,0 +1,242 @@
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/net/builders/builders.h"
+#include "src/routing/spf.h"
+
+namespace arpanet::net {
+namespace {
+
+TEST(TopologyTest, AddNodeAssignsDenseIds) {
+  Topology t;
+  EXPECT_EQ(t.add_node("a"), 0u);
+  EXPECT_EQ(t.add_node("b"), 1u);
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.node_name(0), "a");
+  EXPECT_EQ(t.node_by_name("b"), 1u);
+}
+
+TEST(TopologyTest, DuplicateNameThrows) {
+  Topology t;
+  t.add_node("a");
+  EXPECT_THROW(t.add_node("a"), std::invalid_argument);
+}
+
+TEST(TopologyTest, UnknownNameThrows) {
+  Topology t;
+  t.add_node("a");
+  EXPECT_THROW((void)t.node_by_name("zz"), std::out_of_range);
+}
+
+TEST(TopologyTest, DuplexCreatesTwoSimplexLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId fwd = t.add_duplex(a, b, LineType::kTerrestrial56);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.trunk_count(), 1u);
+  const Link& f = t.link(fwd);
+  const Link& r = t.link(f.reverse);
+  EXPECT_EQ(f.from, a);
+  EXPECT_EQ(f.to, b);
+  EXPECT_EQ(r.from, b);
+  EXPECT_EQ(r.to, a);
+  EXPECT_EQ(r.reverse, fwd);
+  EXPECT_EQ(f.rate, info(LineType::kTerrestrial56).rate);
+}
+
+TEST(TopologyTest, DefaultPropDelayFromLineType) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId sat = t.add_duplex(a, b, LineType::kSatellite56);
+  EXPECT_EQ(t.link(sat).prop_delay, info(LineType::kSatellite56).default_prop_delay);
+}
+
+TEST(TopologyTest, PropDelayOverride) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId l =
+      t.add_duplex(a, b, LineType::kTerrestrial56, util::SimTime::from_ms(25));
+  EXPECT_EQ(t.link(l).prop_delay, util::SimTime::from_ms(25));
+}
+
+TEST(TopologyTest, SelfLoopThrows) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  EXPECT_THROW(t.add_duplex(a, a, LineType::kTerrestrial56), std::invalid_argument);
+}
+
+TEST(TopologyTest, OutOfRangeNodeThrows) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  EXPECT_THROW(t.add_duplex(a, 7, LineType::kTerrestrial56), std::out_of_range);
+}
+
+TEST(TopologyTest, OutLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  t.add_duplex(a, b, LineType::kTerrestrial56);
+  t.add_duplex(a, c, LineType::kTerrestrial56);
+  EXPECT_EQ(t.out_links(a).size(), 2u);
+  EXPECT_EQ(t.out_links(b).size(), 1u);
+}
+
+TEST(TopologyTest, Connectivity) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  t.add_node("c");  // isolated
+  t.add_duplex(a, b, LineType::kTerrestrial56);
+  EXPECT_FALSE(t.is_connected());
+}
+
+TEST(LineTypeTest, TableIsComplete) {
+  for (int i = 0; i < kLineTypeCount; ++i) {
+    const LineTypeInfo& ti = all_line_types()[i];
+    EXPECT_EQ(static_cast<int>(ti.type), i);
+    EXPECT_FALSE(to_string(ti.type).empty());
+    EXPECT_GT(ti.rate.bits_per_sec(), 0.0);
+  }
+}
+
+TEST(LineTypeTest, SatelliteHasLongPropagation) {
+  EXPECT_GT(info(LineType::kSatellite56).default_prop_delay,
+            info(LineType::kTerrestrial56).default_prop_delay * 10);
+  EXPECT_TRUE(info(LineType::kSatellite9_6).satellite);
+  EXPECT_FALSE(info(LineType::kMultiTrunk112).satellite);
+}
+
+// ---- builders ----
+
+TEST(BuildersTest, TwoRegionShape) {
+  const builders::TwoRegionNet net = builders::two_region(6);
+  EXPECT_EQ(net.topo.node_count(), 12u);
+  EXPECT_TRUE(net.topo.is_connected());
+  const Link& a = net.topo.link(net.link_a);
+  const Link& b = net.topo.link(net.link_b);
+  // Same bandwidth and propagation delay, as figure 1 requires.
+  EXPECT_EQ(a.rate, b.rate);
+  EXPECT_EQ(a.prop_delay, b.prop_delay);
+  // A and B are the only inter-region trunks: removing them disconnects.
+  // (Checked indirectly: endpoints are in different regions.)
+  EXPECT_NE(a.from, b.from);
+}
+
+TEST(BuildersTest, Arpanet87Shape) {
+  const builders::Arpanet87 net = builders::arpanet87();
+  EXPECT_EQ(net.topo.node_count(), 47u);
+  EXPECT_EQ(net.topo.trunk_count(), 75u);
+  EXPECT_TRUE(net.topo.is_connected());
+  // Every node has at least two trunks (survivability).
+  for (NodeId n = 0; n < net.topo.node_count(); ++n) {
+    EXPECT_GE(net.topo.out_links(n).size(), 2u) << net.topo.node_name(n);
+  }
+  // Average degree around 3, like the real ARPANET.
+  const double avg_degree =
+      2.0 * static_cast<double>(net.topo.trunk_count()) /
+      static_cast<double>(net.topo.node_count());
+  EXPECT_GT(avg_degree, 2.5);
+  EXPECT_LT(avg_degree, 3.5);
+}
+
+/// "The ARPANET topology is rich with alternate paths" (section 5.2): no
+/// trunk may be a bridge — every route must have an alternate that avoids
+/// any single trunk.
+TEST(BuildersTest, Arpanet87HasNoBridgeTrunks) {
+  const builders::Arpanet87 net = builders::arpanet87();
+  const Topology& t = net.topo;
+  for (std::size_t trunk = 0; trunk < t.link_count(); trunk += 2) {
+    // BFS that refuses to cross either direction of this trunk.
+    std::vector<bool> seen(t.node_count(), false);
+    std::vector<NodeId> stack{0};
+    seen[0] = true;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (const LinkId l : t.out_links(n)) {
+        if (l == trunk || l == trunk + 1) continue;
+        const NodeId m = t.link(l).to;
+        if (!seen[m]) {
+          seen[m] = true;
+          ++reached;
+          stack.push_back(m);
+        }
+      }
+    }
+    EXPECT_EQ(reached, t.node_count())
+        << "bridge trunk: " << t.node_name(t.link(trunk).from) << " - "
+        << t.node_name(t.link(trunk).to);
+  }
+}
+
+/// Mean minimum path length should resemble Table 1's ~3.2-4.0 hops.
+TEST(BuildersTest, Arpanet87PathLengthsResembleTable1) {
+  const builders::Arpanet87 net = builders::arpanet87();
+  const auto d = routing::min_hop_lengths(net.topo);
+  double sum = 0;
+  int pairs = 0;
+  int diameter = 0;
+  for (NodeId s = 0; s < net.topo.node_count(); ++s) {
+    for (NodeId t2 = 0; t2 < net.topo.node_count(); ++t2) {
+      if (s == t2) continue;
+      sum += d[s][t2];
+      diameter = std::max(diameter, d[s][t2]);
+      ++pairs;
+    }
+  }
+  const double mean = sum / pairs;
+  EXPECT_GT(mean, 2.8);
+  EXPECT_LT(mean, 4.5);
+  EXPECT_LE(diameter, 12);
+}
+
+TEST(BuildersTest, Arpanet87HasHeterogeneousTrunking) {
+  const builders::Arpanet87 net = builders::arpanet87();
+  int sat = 0;
+  int slow = 0;
+  int multi = 0;
+  for (const Link& l : net.topo.links()) {
+    if (info(l.type).satellite) ++sat;
+    if (l.type == LineType::kTerrestrial9_6) ++slow;
+    if (l.type == LineType::kMultiTrunk112) ++multi;
+  }
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(slow, 0);
+  EXPECT_GT(multi, 0);
+}
+
+TEST(BuildersTest, RingAndGrid) {
+  const Topology r = builders::ring(5);
+  EXPECT_EQ(r.node_count(), 5u);
+  EXPECT_EQ(r.trunk_count(), 5u);
+  EXPECT_TRUE(r.is_connected());
+
+  const Topology g = builders::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.trunk_count(), 17u);  // 2*w*h - w - h
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(BuildersTest, RandomConnectedIsConnectedAndDeterministic) {
+  util::Rng rng1{123};
+  util::Rng rng2{123};
+  const Topology a = builders::random_connected(20, 10, rng1);
+  const Topology b = builders::random_connected(20, 10, rng2);
+  EXPECT_TRUE(a.is_connected());
+  EXPECT_EQ(a.trunk_count(), b.trunk_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.link(i).from, b.link(i).from);
+    EXPECT_EQ(a.link(i).to, b.link(i).to);
+  }
+}
+
+}  // namespace
+}  // namespace arpanet::net

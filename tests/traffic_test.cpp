@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/traffic/poisson_source.h"
+#include "src/traffic/traffic_matrix.h"
+
+namespace arpanet::traffic {
+namespace {
+
+TEST(TrafficMatrixTest, UniformSplitsEvenly) {
+  const TrafficMatrix m = TrafficMatrix::uniform(4, 1200.0);
+  EXPECT_NEAR(m.total_bps(), 1200.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 100.0);  // 12 ordered pairs
+  EXPECT_DOUBLE_EQ(m.at(3, 2), 100.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+TEST(TrafficMatrixTest, SetAddValidate) {
+  TrafficMatrix m{3};
+  m.set(0, 1, 50.0);
+  m.add(0, 1, 25.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 75.0);
+  EXPECT_THROW(m.set(1, 1, 10.0), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 2, -1.0), std::invalid_argument);
+}
+
+TEST(TrafficMatrixTest, ScaleAndNormalize) {
+  TrafficMatrix m = TrafficMatrix::uniform(3, 600.0);
+  m.scale(2.0);
+  EXPECT_NEAR(m.total_bps(), 1200.0, 1e-9);
+  m.normalize_total(300.0);
+  EXPECT_NEAR(m.total_bps(), 300.0, 1e-9);
+}
+
+TEST(TrafficMatrixTest, GravityProportionalToWeights) {
+  const TrafficMatrix m = TrafficMatrix::gravity({1.0, 2.0, 1.0}, 1000.0);
+  EXPECT_NEAR(m.total_bps(), 1000.0, 1e-9);
+  // Pair (0,1) has weight 2, pair (0,2) weight 1.
+  EXPECT_NEAR(m.at(0, 1) / m.at(0, 2), 2.0, 1e-9);
+}
+
+TEST(TrafficMatrixTest, PeakHourIsDeterministicAndSkewed) {
+  const TrafficMatrix a = TrafficMatrix::peak_hour(20, 1e6, util::Rng{5});
+  const TrafficMatrix b = TrafficMatrix::peak_hour(20, 1e6, util::Rng{5});
+  EXPECT_NEAR(a.total_bps(), 1e6, 1e-3);
+  double max_pair = 0;
+  double min_pair = 1e18;
+  for (net::NodeId s = 0; s < 20; ++s) {
+    for (net::NodeId d = 0; d < 20; ++d) {
+      EXPECT_DOUBLE_EQ(a.at(s, d), b.at(s, d));
+      if (s == d) continue;
+      max_pair = std::max(max_pair, a.at(s, d));
+      min_pair = std::min(min_pair, a.at(s, d));
+    }
+  }
+  // Skew: the busiest pair is much larger than the quietest.
+  EXPECT_GT(max_pair / min_pair, 5.0);
+}
+
+TEST(PoissonProcessTest, MeanGapMatchesRate) {
+  PoissonProcess p{50.0, util::Rng{31}};  // 50 pkts/sec
+  double total = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) total += p.next_gap().sec();
+  EXPECT_NEAR(total / n, 0.02, 0.001);
+}
+
+TEST(PoissonProcessTest, RejectsZeroRate) {
+  EXPECT_THROW(PoissonProcess(0.0, util::Rng{1}), std::invalid_argument);
+}
+
+TEST(PacketSizerTest, MeanAndFloor) {
+  PacketSizer sizer{600.0};
+  util::Rng rng{37};
+  double total = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double bits = sizer.sample(rng);
+    EXPECT_GE(bits, 32.0);
+    total += bits;
+  }
+  EXPECT_NEAR(total / n, 600.0, 5.0);
+}
+
+TEST(PacketSizerTest, RejectsMeanBelowFloor) {
+  EXPECT_THROW(PacketSizer(10.0, 32.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arpanet::traffic

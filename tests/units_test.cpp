@@ -1,0 +1,61 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace arpanet::util {
+namespace {
+
+TEST(SimTimeTest, FactoriesRoundTrip) {
+  EXPECT_EQ(SimTime::from_us(1500).us(), 1500);
+  EXPECT_DOUBLE_EQ(SimTime::from_ms(1.5).ms(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_sec(2.5).sec(), 2.5);
+  EXPECT_EQ(SimTime::from_ms(1.5).us(), 1500);
+  EXPECT_EQ(SimTime::from_sec(1.0).us(), 1'000'000);
+}
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime::zero().us(), 0);
+}
+
+TEST(SimTimeTest, RoundsToNearestMicrosecond) {
+  EXPECT_EQ(SimTime::from_ms(0.0006).us(), 1);
+  EXPECT_EQ(SimTime::from_ms(0.0004).us(), 0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const auto a = SimTime::from_ms(10);
+  const auto b = SimTime::from_ms(3);
+  EXPECT_EQ((a + b).ms(), 13.0);
+  EXPECT_EQ((a - b).ms(), 7.0);
+  EXPECT_EQ((a * 3).ms(), 30.0);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c.ms(), 13.0);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::from_ms(1), SimTime::from_ms(2));
+  EXPECT_GE(SimTime::from_sec(1), SimTime::from_ms(1000));
+  EXPECT_LT(SimTime::from_sec(1), SimTime::max());
+}
+
+TEST(DataRateTest, TransmissionTime) {
+  const auto rate = DataRate::kbps(56.0);
+  // 600 bits at 56 kb/s = 10.714 ms.
+  EXPECT_NEAR(rate.transmission_time(600).ms(), 10.714, 0.001);
+  EXPECT_DOUBLE_EQ(rate.bits_per_sec(), 56'000.0);
+  EXPECT_DOUBLE_EQ(rate.kilobits_per_sec(), 56.0);
+}
+
+TEST(DataRateTest, FasterLineShorterTime) {
+  const auto slow = DataRate::kbps(9.6).transmission_time(600);
+  const auto fast = DataRate::kbps(230.4).transmission_time(600);
+  EXPECT_GT(slow, fast);
+  EXPECT_NEAR(slow.ms(), 62.5, 0.01);
+}
+
+}  // namespace
+}  // namespace arpanet::util
