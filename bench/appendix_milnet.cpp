@@ -10,28 +10,28 @@
 #include <cstdio>
 #include <iostream>
 
+#include "src/exp/experiment.h"
 #include "src/net/builders/builders.h"
-#include "src/sim/scenario.h"
 
 int main() {
   using namespace arpanet;
-  const net::Topology topo = net::builders::milnet_like();
+  const exp::Experiment e{net::builders::milnet_like(), "milnet"};
   std::printf("# MILNET-like network: %zu nodes, %zu trunks\n",
-              topo.node_count(), topo.trunk_count());
+              e.topology().node_count(), e.topology().trunk_count());
 
-  sim::ScenarioConfig cfg;
-  cfg.shape = sim::TrafficShape::kPeakHour;
-  cfg.warmup = util::SimTime::from_sec(150);
-  cfg.window = util::SimTime::from_sec(300);
-  cfg.seed = 0x83;
+  const sim::ScenarioConfig base = sim::ScenarioConfig{}
+                                       .with_shape(sim::TrafficShape::kPeakHour)
+                                       .with_warmup(util::SimTime::from_sec(150))
+                                       .with_window(util::SimTime::from_sec(300))
+                                       .with_seed(0x83);
 
-  cfg.metric = metrics::MetricKind::kDspf;
-  cfg.offered_load_bps = 700e3;
-  const auto before = sim::run_scenario(topo, cfg, "D-SPF");
-
-  cfg.metric = metrics::MetricKind::kHnSpf;
-  cfg.offered_load_bps = 790e3;  // +13%, mirroring the ARPANET study
-  const auto after = sim::run_scenario(topo, cfg, "HN-SPF");
+  const auto before = e.run(sim::ScenarioConfig{base}
+                                .with_metric(metrics::MetricKind::kDspf)
+                                .with_load_bps(700e3));
+  const auto after =
+      e.run(sim::ScenarioConfig{base}
+                .with_metric(metrics::MetricKind::kHnSpf)
+                .with_load_bps(790e3));  // +13%, mirroring the ARPANET study
 
   stats::print_table1(std::cout, before.indicators, after.indicators);
   std::printf("\n# expected: the same directions as Table 1 on a network"

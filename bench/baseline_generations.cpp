@@ -14,8 +14,8 @@
 
 #include <cstdio>
 
+#include "src/exp/experiment.h"
 #include "src/net/builders/builders.h"
-#include "src/sim/network.h"
 
 namespace {
 
@@ -27,12 +27,32 @@ struct Row {
   metrics::MetricKind metric;
 };
 
-void run(const Row& row, const net::builders::TwoRegionNet& two) {
-  sim::NetworkConfig cfg;
-  cfg.algorithm = row.algo;
-  cfg.metric = row.metric;
-  cfg.hop_limit = 64;
-  sim::Network net{two.topo, cfg};
+void run(const Row& row, const exp::Experiment& e,
+         const traffic::TrafficMatrix& m) {
+  sim::NetworkConfig ncfg;
+  ncfg.algorithm = row.algo;
+  ncfg.hop_limit = 64;
+  const auto r = e.run(sim::ScenarioConfig{}
+                           .with_metric(row.metric)
+                           .with_network(ncfg)
+                           .with_matrix(m)
+                           .with_warmup(util::SimTime::from_sec(150))
+                           .with_window(util::SimTime::from_sec(300))
+                           .with_label(row.label));
+  std::printf("%-22s %10.1f %10.1f %8.2f %8ld %8ld %12ld\n", row.label,
+              r.indicators.internode_traffic_kbps,
+              r.indicators.round_trip_delay_ms, r.indicators.actual_path_hops,
+              r.stats.packets_dropped_queue, r.stats.packets_dropped_loop,
+              r.stats.update_packets_sent);
+}
+
+}  // namespace
+
+int main() {
+  const auto two = net::builders::two_region(6);
+  const exp::Experiment e{two.topo, "two-region"};
+
+  // All region1<->region2 pairs share 95 kb/s across the two 56 kb/s trunks.
   traffic::TrafficMatrix m{two.topo.node_count()};
   const double per_pair =
       95e3 / static_cast<double>(2 * two.region1.size() * two.region2.size());
@@ -42,23 +62,7 @@ void run(const Row& row, const net::builders::TwoRegionNet& two) {
       m.set(b, a, per_pair);
     }
   }
-  net.add_traffic(m);
-  net.run_for(util::SimTime::from_sec(150));
-  net.reset_stats();
-  net.run_for(util::SimTime::from_sec(300));
 
-  const auto ind = net.indicators(row.label);
-  const auto& s = net.stats();
-  std::printf("%-22s %10.1f %10.1f %8.2f %8ld %8ld %12ld\n", row.label,
-              ind.internode_traffic_kbps, ind.round_trip_delay_ms,
-              ind.actual_path_hops, s.packets_dropped_queue,
-              s.packets_dropped_loop, s.update_packets_sent);
-}
-
-}  // namespace
-
-int main() {
-  const auto two = net::builders::two_region(6);
   std::printf("# Three routing generations, two-region overload (95 kb/s over"
               " 2x56 kb/s trunks)\n");
   std::printf("%-22s %10s %10s %8s %8s %8s %12s\n", "# generation", "kbps",
@@ -69,7 +73,7 @@ int main() {
       {"1979 D-SPF", routing::RoutingAlgorithm::kSpf, metrics::MetricKind::kDspf},
       {"1987 HN-SPF", routing::RoutingAlgorithm::kSpf, metrics::MetricKind::kHnSpf},
   };
-  for (const Row& r : rows) run(r, two);
+  for (const Row& r : rows) run(r, e, m);
   std::printf("\n# expected ordering: each generation delivers more at lower"
               " delay with less\n# control overhead pathology than the last.\n");
   return 0;

@@ -10,15 +10,17 @@
 #include <cstdio>
 
 #include "src/analysis/response_map.h"
-#include "src/net/builders/builders.h"
+#include "src/exp/experiment.h"
 
 int main() {
   using namespace arpanet;
-  const auto net = net::builders::arpanet87();
-  const auto matrix = traffic::TrafficMatrix::peak_hour(
-      net.topo.node_count(), 400e3, util::Rng{1987});
+  const exp::Experiment e = exp::Experiment::arpanet87();
+  const auto matrix = e.matrix(sim::ScenarioConfig{}
+                                   .with_shape(sim::TrafficShape::kPeakHour)
+                                   .with_load_bps(400e3)
+                                   .with_seed(1987));
 
-  const auto map = analysis::NetworkResponseMap::build(net.topo, matrix);
+  const auto map = analysis::NetworkResponseMap::build(e.topology(), matrix);
 
   std::printf("# Figure 8: network response map (ARPANET-like topology, peak-hour matrix)\n");
   std::printf("# cost(hops)  traffic-fraction  across-link-stddev\n");

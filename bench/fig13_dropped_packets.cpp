@@ -9,12 +9,11 @@
 
 #include <cstdio>
 
-#include "src/net/builders/builders.h"
-#include "src/sim/scenario.h"
+#include "src/exp/experiment.h"
 
 int main() {
   using namespace arpanet;
-  const auto net = net::builders::arpanet87();
+  const exp::Experiment e = exp::Experiment::arpanet87();
 
   const int days = 14;
   const int install_day = 8;  // HNM installed before this day
@@ -26,17 +25,21 @@ int main() {
   long before_total = 0;
   long after_total = 0;
   for (int day = 1; day <= days; ++day) {
-    sim::ScenarioConfig cfg;
-    cfg.metric = day < install_day ? metrics::MetricKind::kDspf
-                                   : metrics::MetricKind::kHnSpf;
-    cfg.shape = sim::TrafficShape::kPeakHour;
-    cfg.offered_load_bps = load0 + load_growth * (day - 1);
-    cfg.warmup = util::SimTime::from_sec(80);
-    cfg.window = util::SimTime::from_sec(200);
-    cfg.seed = 0x1987'0500ULL + static_cast<std::uint64_t>(day);
-    cfg.network.queue_capacity = 30;
+    sim::NetworkConfig ncfg;
+    ncfg.queue_capacity = 30;
+    const sim::ScenarioConfig cfg =
+        sim::ScenarioConfig{}
+            .with_metric(day < install_day ? metrics::MetricKind::kDspf
+                                           : metrics::MetricKind::kHnSpf)
+            .with_shape(sim::TrafficShape::kPeakHour)
+            .with_load_bps(load0 + load_growth * (day - 1))
+            .with_warmup(util::SimTime::from_sec(80))
+            .with_window(util::SimTime::from_sec(200))
+            .with_seed(0x1987'0500ULL + static_cast<std::uint64_t>(day))
+            .with_network(ncfg)
+            .with_label("day");
 
-    const auto r = sim::run_scenario(net.topo, cfg, "day");
+    const auto r = e.run(cfg);
     const long dropped = r.stats.packets_dropped_queue;
     (day < install_day ? before_total : after_total) += dropped;
     const double rate =

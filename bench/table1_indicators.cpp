@@ -11,26 +11,26 @@
 #include <cstdio>
 #include <iostream>
 
-#include "src/net/builders/builders.h"
-#include "src/sim/scenario.h"
+#include "src/exp/experiment.h"
 
 int main() {
   using namespace arpanet;
-  const auto net = net::builders::arpanet87();
+  const exp::Experiment e = exp::Experiment::arpanet87();
 
-  sim::ScenarioConfig cfg;
-  cfg.shape = sim::TrafficShape::kPeakHour;
-  cfg.warmup = util::SimTime::from_sec(150);
-  cfg.window = util::SimTime::from_sec(450);
-  cfg.seed = 0x1987;
+  const sim::ScenarioConfig base = sim::ScenarioConfig{}
+                                       .with_shape(sim::TrafficShape::kPeakHour)
+                                       .with_warmup(util::SimTime::from_sec(150))
+                                       .with_window(util::SimTime::from_sec(450))
+                                       .with_seed(0x1987);
 
-  cfg.metric = metrics::MetricKind::kDspf;
-  cfg.offered_load_bps = 366e3;  // the paper's May-87 internode traffic
-  const auto may = sim::run_scenario(net.topo, cfg, "D-SPF(May)");
-
-  cfg.metric = metrics::MetricKind::kHnSpf;
-  cfg.offered_load_bps = 414e3;  // +13%, the paper's Aug-87 level
-  const auto aug = sim::run_scenario(net.topo, cfg, "HN-SPF(Aug)");
+  const auto may = e.run(sim::ScenarioConfig{base}
+                             .with_metric(metrics::MetricKind::kDspf)
+                             .with_load_bps(366e3)  // May-87 internode traffic
+                             .with_label("D-SPF(May)"));
+  const auto aug = e.run(sim::ScenarioConfig{base}
+                             .with_metric(metrics::MetricKind::kHnSpf)
+                             .with_load_bps(414e3)  // +13%, the Aug-87 level
+                             .with_label("HN-SPF(Aug)"));
 
   std::printf("# Table 1: network-wide performance indicators\n");
   stats::print_table1(std::cout, may.indicators, aug.indicators);

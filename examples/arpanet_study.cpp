@@ -1,18 +1,19 @@
 // arpanet_study: the before/after measurement study, as a program.
 //
 // Runs the ARPANET-like network at the same peak-hour offered load under
-// all three metrics and prints the Table-1-style indicators side by side,
-// plus a utilization histogram across trunks — the "some links over-utilized
-// while others sit idle" signature of D-SPF (section 3.3 point 1) shows up
-// as mass in both tails.
+// all three metrics — as one parallel sweep over the metric axis — and
+// prints the Table-1-style indicators side by side, plus a utilization
+// histogram across trunks: the "some links over-utilized while others sit
+// idle" signature of D-SPF (section 3.3 point 1) shows up as mass in both
+// tails.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "src/exp/experiment.h"
 #include "src/net/builders/builders.h"
 #include "src/sim/network.h"
-#include "src/sim/scenario.h"
 #include "src/stats/histogram.h"
 
 namespace {
@@ -45,25 +46,27 @@ void utilization_histogram(metrics::MetricKind kind, double offered) {
 }  // namespace
 
 int main() {
-  const auto net87 = net::builders::arpanet87();
+  const exp::Experiment e = exp::Experiment::arpanet87();
   const double offered = 400e3;
 
   std::printf("ARPANET-like network, %d PSNs / %d trunks, %.0f kb/s peak-hour"
               " offered load\n\n",
-              static_cast<int>(net87.topo.node_count()),
-              static_cast<int>(net87.topo.trunk_count()), offered / 1e3);
+              static_cast<int>(e.topology().node_count()),
+              static_cast<int>(e.topology().trunk_count()), offered / 1e3);
+
+  // The three metrics are independent cells: sweep them in parallel.
+  exp::SweepSpec spec;
+  spec.base = sim::ScenarioConfig{}
+                  .with_load_bps(offered)
+                  .with_warmup(util::SimTime::from_sec(120))
+                  .with_window(util::SimTime::from_sec(300));
+  spec.over_metrics({metrics::MetricKind::kMinHop, metrics::MetricKind::kDspf,
+                     metrics::MetricKind::kHnSpf});
+  const exp::SweepResult sweep = e.sweep(spec);
 
   std::vector<stats::NetworkIndicators> results;
-  for (const metrics::MetricKind kind :
-       {metrics::MetricKind::kMinHop, metrics::MetricKind::kDspf,
-        metrics::MetricKind::kHnSpf}) {
-    sim::ScenarioConfig cfg;
-    cfg.metric = kind;
-    cfg.offered_load_bps = offered;
-    cfg.warmup = util::SimTime::from_sec(120);
-    cfg.window = util::SimTime::from_sec(300);
-    results.push_back(
-        sim::run_scenario(net87.topo, cfg, to_string(kind)).indicators);
+  for (const exp::SweepRun& run : sweep.runs) {
+    results.push_back(run.result.indicators);
   }
 
   std::printf("%-28s %12s %12s %12s\n", "Indicator", "min-hop", "D-SPF",

@@ -6,6 +6,11 @@
 //   2. wrap it in a sim::Network configured with a routing metric,
 //   3. offer traffic from a matrix,
 //   4. run, and read the Table-1-style indicators.
+//
+// This walks the low-level layers on purpose. For whole experiments —
+// validated configs, parallel parameter sweeps, CSV/JSON output — start
+// from exp::Experiment instead (see examples/arpanet_study.cpp and
+// docs/experiments.md).
 
 #include <cstdio>
 

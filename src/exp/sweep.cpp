@@ -1,0 +1,283 @@
+#include "src/exp/sweep.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace arpanet::exp {
+
+namespace {
+
+/// FNV-1a over raw bytes: stable across platforms and standard libraries
+/// (unlike std::hash), which keeps derived seeds — and therefore results —
+/// reproducible everywhere.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+/// Shortest round-trippable decimal for a double, fixed format rules so CSV
+/// bytes do not depend on locale or stream state.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepSpec& SweepSpec::with_base(sim::ScenarioConfig cfg) {
+  base = std::move(cfg);
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_metrics(std::vector<metrics::MetricKind> kinds) {
+  metrics = std::move(kinds);
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_loads_bps(std::vector<double> loads) {
+  for (const double l : loads) {
+    if (l < 0.0) {
+      throw std::invalid_argument("SweepSpec: offered load must be >= 0");
+    }
+  }
+  loads_bps = std::move(loads);
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_load_range_bps(double from, double to, double step) {
+  if (from < 0.0 || to < from || step <= 0.0) {
+    throw std::invalid_argument(
+        "SweepSpec: load range needs 0 <= from <= to and step > 0");
+  }
+  loads_bps.clear();
+  // Half-a-step slack so `to` itself is included despite rounding.
+  for (double l = from; l <= to + step / 2; l += step) loads_bps.push_back(l);
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_shapes(std::vector<sim::TrafficShape> s) {
+  shapes = std::move(s);
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_seeds(std::vector<std::uint64_t> s) {
+  seeds = std::move(s);
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_replicas(int n) {
+  if (n <= 0) throw std::invalid_argument("SweepSpec: replicas must be > 0");
+  seeds.clear();
+  for (int i = 0; i < n; ++i) {
+    seeds.push_back(base.seed + static_cast<std::uint64_t>(i));
+  }
+  return *this;
+}
+
+SweepSpec& SweepSpec::over_topologies(std::vector<NamedTopology> topos) {
+  topologies = std::move(topos);
+  return *this;
+}
+
+std::size_t SweepSpec::cell_count() const {
+  const auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  return dim(topologies.size()) * dim(metrics.size()) * dim(loads_bps.size()) *
+         dim(shapes.size()) * dim(seeds.size());
+}
+
+std::uint64_t derive_cell_seed(const std::string& topology,
+                               metrics::MetricKind metric,
+                               double offered_load_bps,
+                               sim::TrafficShape shape, std::uint64_t seed) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, topology.data(), topology.size());
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(metric));
+  h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(offered_load_bps));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(shape));
+  return seed ^ h;
+}
+
+sim::ScenarioConfig SweepCell::to_config(const sim::ScenarioConfig& base) const {
+  sim::ScenarioConfig cfg = base;
+  cfg.metric = metric;
+  cfg.offered_load_bps = offered_load_bps;
+  cfg.shape = shape;
+  cfg.seed = derived_seed;
+  return cfg;
+}
+
+std::vector<SweepCell> expand_cells(const SweepSpec& spec,
+                                    const NamedTopology& default_topo) {
+  std::vector<const NamedTopology*> topo_axis;
+  if (spec.topologies.empty()) {
+    topo_axis.push_back(&default_topo);
+  } else {
+    for (const NamedTopology& t : spec.topologies) topo_axis.push_back(&t);
+  }
+  const std::vector<metrics::MetricKind> metric_axis =
+      spec.metrics.empty() ? std::vector{spec.base.metric} : spec.metrics;
+  const std::vector<double> load_axis =
+      spec.loads_bps.empty() ? std::vector{spec.base.offered_load_bps}
+                             : spec.loads_bps;
+  const std::vector<sim::TrafficShape> shape_axis =
+      spec.shapes.empty() ? std::vector{spec.base.shape} : spec.shapes;
+  const std::vector<std::uint64_t> seed_axis =
+      spec.seeds.empty() ? std::vector{spec.base.seed} : spec.seeds;
+
+  std::vector<SweepCell> cells;
+  cells.reserve(topo_axis.size() * metric_axis.size() * load_axis.size() *
+                shape_axis.size() * seed_axis.size());
+  for (const NamedTopology* t : topo_axis) {
+    for (const metrics::MetricKind m : metric_axis) {
+      for (const double load : load_axis) {
+        for (const sim::TrafficShape s : shape_axis) {
+          for (const std::uint64_t seed : seed_axis) {
+            SweepCell cell;
+            cell.index = cells.size();
+            cell.topology = t->name;
+            cell.topo = &t->topo;
+            cell.metric = m;
+            cell.offered_load_bps = load;
+            cell.shape = s;
+            cell.seed = seed;
+            cell.derived_seed = derive_cell_seed(t->name, m, load, s, seed);
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+double SweepResult::total_run_seconds() const {
+  double total = 0.0;
+  for (const SweepRun& r : runs) total += r.result.wall_seconds;
+  return total;
+}
+
+std::uint64_t SweepResult::total_events() const {
+  std::uint64_t total = 0;
+  for (const SweepRun& r : runs) total += r.result.events_processed;
+  return total;
+}
+
+double SweepResult::speedup() const {
+  return elapsed_seconds > 0 ? total_run_seconds() / elapsed_seconds : 0.0;
+}
+
+void SweepResult::write_csv(std::ostream& os, bool include_telemetry) const {
+  os << "index,topology,metric,shape,seed,offered_kbps,delivered_kbps,"
+        "rtt_ms,delay_p50_ms,delay_p95_ms,delay_p99_ms,drops_per_sec,"
+        "delivered_pps,actual_hops,min_hops,path_ratio,updates_per_trunk_sec,"
+        "generated,delivered,drops_queue,drops_unreachable,drops_loop";
+  if (include_telemetry) os << ",wall_sec,events,events_per_sec,worker";
+  os << "\n";
+  for (const SweepRun& r : runs) {
+    const auto& ind = r.result.indicators;
+    const auto& st = r.result.stats;
+    os << r.cell.index << ',' << r.cell.topology << ','
+       << to_string(r.cell.metric) << ',' << to_string(r.cell.shape) << ','
+       << r.cell.seed << ',' << fmt(r.cell.offered_load_bps / 1e3) << ','
+       << fmt(ind.internode_traffic_kbps) << ',' << fmt(ind.round_trip_delay_ms)
+       << ',' << fmt(ind.delay_p50_ms) << ',' << fmt(ind.delay_p95_ms) << ','
+       << fmt(ind.delay_p99_ms) << ',' << fmt(ind.packets_dropped_per_sec)
+       << ',' << fmt(ind.delivered_packets_per_sec) << ','
+       << fmt(ind.actual_path_hops) << ',' << fmt(ind.minimum_path_hops) << ','
+       << fmt(ind.path_ratio()) << ',' << fmt(ind.updates_per_trunk_sec) << ','
+       << st.packets_generated << ',' << st.packets_delivered << ','
+       << st.packets_dropped_queue << ',' << st.packets_dropped_unreachable
+       << ',' << st.packets_dropped_loop;
+    if (include_telemetry) {
+      os << ',' << fmt(r.result.wall_seconds) << ',' << r.result.events_processed
+         << ',' << fmt(r.result.events_per_sec()) << ',' << r.worker;
+    }
+    os << "\n";
+  }
+}
+
+std::string SweepResult::csv(bool include_telemetry) const {
+  std::ostringstream os;
+  write_csv(os, include_telemetry);
+  return os.str();
+}
+
+void SweepResult::write_json(std::ostream& os) const {
+  os << "{\n  \"threads\": " << threads_used
+     << ",\n  \"elapsed_sec\": " << fmt(elapsed_seconds)
+     << ",\n  \"total_run_sec\": " << fmt(total_run_seconds())
+     << ",\n  \"total_events\": " << total_events() << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& r = runs[i];
+    const auto& ind = r.result.indicators;
+    os << "    {\"index\": " << r.cell.index << ", \"topology\": \""
+       << json_escape(r.cell.topology) << "\", \"metric\": \""
+       << to_string(r.cell.metric) << "\", \"shape\": \""
+       << to_string(r.cell.shape) << "\", \"seed\": " << r.cell.seed
+       << ", \"derived_seed\": " << r.cell.derived_seed
+       << ", \"offered_kbps\": " << fmt(r.cell.offered_load_bps / 1e3)
+       << ", \"delivered_kbps\": " << fmt(ind.internode_traffic_kbps)
+       << ", \"rtt_ms\": " << fmt(ind.round_trip_delay_ms)
+       << ", \"drops_per_sec\": " << fmt(ind.packets_dropped_per_sec)
+       << ", \"actual_hops\": " << fmt(ind.actual_path_hops)
+       << ", \"path_ratio\": " << fmt(ind.path_ratio())
+       << ", \"updates_per_trunk_sec\": " << fmt(ind.updates_per_trunk_sec)
+       << ", \"wall_sec\": " << fmt(r.result.wall_seconds)
+       << ", \"events\": " << r.result.events_processed
+       << ", \"events_per_sec\": " << fmt(r.result.events_per_sec())
+       << ", \"worker\": " << r.worker << "}";
+    os << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+void SweepResult::write_summary(std::ostream& os) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "# sweep: %zu runs on %d thread%s, %.2fs elapsed "
+                "(%.2fs of simulation, %.2fx speedup), %" PRIu64
+                " events, %.0f events/sec\n",
+                runs.size(), threads_used, threads_used == 1 ? "" : "s",
+                elapsed_seconds, total_run_seconds(), speedup(), total_events(),
+                elapsed_seconds > 0
+                    ? static_cast<double>(total_events()) / elapsed_seconds
+                    : 0.0);
+  os << buf;
+}
+
+}  // namespace arpanet::exp

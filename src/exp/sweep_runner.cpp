@@ -1,0 +1,91 @@
+#include "src/exp/sweep_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace arpanet::exp {
+
+namespace {
+
+SweepRun execute_cell(const SweepSpec& spec, const SweepCell& cell,
+                      int worker) {
+  SweepRun run;
+  run.cell = cell;
+  run.worker = worker;
+  // run_scenario stamps wall_seconds / events_processed itself.
+  run.result = sim::run_scenario(*cell.topo, cell.to_config(spec.base),
+                                 /*label=*/"");
+  return run;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_{std::move(opts)} {}
+
+SweepResult SweepRunner::run(const SweepSpec& spec,
+                             const NamedTopology& default_topo) const {
+  const std::vector<SweepCell> cells = expand_cells(spec, default_topo);
+  const auto start = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.runs.resize(cells.size());
+
+  int threads = opts_.threads > 0
+                    ? opts_.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  if (static_cast<std::size_t>(threads) > cells.size() && !cells.empty()) {
+    threads = static_cast<int>(cells.size());
+  }
+  result.threads_used = threads;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;  // guards first_error and the progress callback
+  std::exception_ptr first_error;
+
+  const auto worker_loop = [&](int worker) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      try {
+        SweepRun run = execute_cell(spec, cells[i], worker);
+        if (opts_.on_run_done) {
+          const std::lock_guard<std::mutex> lock{mu};
+          result.runs[i] = std::move(run);
+          opts_.on_run_done(result.runs[i]);
+        } else {
+          result.runs[i] = std::move(run);  // slot i is this worker's alone
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{mu};
+        if (!first_error) first_error = std::current_exception();
+        return;  // stop this worker; others drain their current cells
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back(worker_loop, w);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace arpanet::exp

@@ -1,0 +1,42 @@
+// Parallel execution of sweep cells.
+//
+// Every cell is an independent discrete-event run (its own Network, RNG
+// streams derived from the cell's axes), so the runner is a plain
+// work-stealing thread pool: workers pull the next unclaimed cell index and
+// write the finished run into its fixed slot. Determinism therefore costs
+// nothing — results are byte-identical at any thread count, only the
+// telemetry (wall times, worker ids) differs.
+
+#pragma once
+
+#include <functional>
+
+#include "src/exp/sweep.h"
+
+namespace arpanet::exp {
+
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (capped at
+  /// the cell count — threads beyond that would sit idle).
+  int threads = 0;
+  /// Optional progress callback, invoked after each cell completes, from
+  /// the worker that ran it (serialized internally — the callback itself
+  /// need not lock).
+  std::function<void(const SweepRun&)> on_run_done;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  /// Expands `spec` against `default_topo` and executes every cell.
+  /// Exceptions thrown by a cell (e.g. an invalid config) are rethrown on
+  /// the calling thread after all workers drain.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec,
+                                const NamedTopology& default_topo) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace arpanet::exp

@@ -1,6 +1,7 @@
 #include "src/metrics/metric_factory.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/metrics/dspf_metric.h"
 #include "src/metrics/hnspf_metric.h"
@@ -20,6 +21,23 @@ std::unique_ptr<LinkMetric> make_metric(MetricKind kind, const net::Link& link,
                                            link.prop_delay);
   }
   throw std::invalid_argument("unknown MetricKind");
+}
+
+FunctionMetricFactory::FunctionMetricFactory(std::string name, Fn fn)
+    : name_{std::move(name)}, fn_{std::move(fn)} {
+  if (!fn_) {
+    throw std::invalid_argument("FunctionMetricFactory: null callable");
+  }
+}
+
+std::unique_ptr<LinkMetric> FunctionMetricFactory::create(
+    const net::Link& link, const core::LineParamsTable& params) const {
+  auto metric = fn_(link, params);
+  if (!metric) {
+    throw std::logic_error("FunctionMetricFactory '" + name_ +
+                           "' returned a null metric");
+  }
+  return metric;
 }
 
 }  // namespace arpanet::metrics

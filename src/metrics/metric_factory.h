@@ -1,8 +1,19 @@
 // Construction of per-link metric instances.
+//
+// Two forms:
+//   * make_metric(kind, link, params) — the closed-set constructor for the
+//     three metrics the paper compares;
+//   * MetricFactory — an open injection point. sim::NetworkConfig carries a
+//     factory so experiments (ablations, tunings, hybrid metrics) can plug
+//     in custom LinkMetric implementations without every call site
+//     switching on MetricKind. When no factory is set the network falls
+//     back to KindMetricFactory over NetworkConfig::metric.
 
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "src/core/line_params.h"
 #include "src/metrics/link_metric.h"
@@ -12,5 +23,57 @@ namespace arpanet::metrics {
 /// Creates the metric instance for one simplex link.
 [[nodiscard]] std::unique_ptr<LinkMetric> make_metric(
     MetricKind kind, const net::Link& link, const core::LineParamsTable& params);
+
+/// Abstract constructor of per-link metrics. Implementations must be
+/// stateless or internally synchronized: one factory instance may be shared
+/// by many networks, including networks running concurrently on different
+/// sweep worker threads.
+class MetricFactory {
+ public:
+  virtual ~MetricFactory() = default;
+
+  /// Creates the metric for one simplex link.
+  [[nodiscard]] virtual std::unique_ptr<LinkMetric> create(
+      const net::Link& link, const core::LineParamsTable& params) const = 0;
+
+  /// Human-readable name, used as the default result label.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The closed-set factory: wraps make_metric over a MetricKind.
+class KindMetricFactory final : public MetricFactory {
+ public:
+  explicit KindMetricFactory(MetricKind kind) : kind_{kind} {}
+
+  [[nodiscard]] std::unique_ptr<LinkMetric> create(
+      const net::Link& link,
+      const core::LineParamsTable& params) const override {
+    return make_metric(kind_, link, params);
+  }
+  [[nodiscard]] std::string name() const override { return to_string(kind_); }
+  [[nodiscard]] MetricKind kind() const { return kind_; }
+
+ private:
+  MetricKind kind_;
+};
+
+/// Adapter for ad-hoc metrics (ablation benches, tests): wraps a callable
+/// `(const net::Link&, const core::LineParamsTable&) -> unique_ptr<LinkMetric>`.
+/// The callable must be safe to invoke from multiple threads.
+class FunctionMetricFactory final : public MetricFactory {
+ public:
+  using Fn = std::function<std::unique_ptr<LinkMetric>(
+      const net::Link&, const core::LineParamsTable&)>;
+
+  FunctionMetricFactory(std::string name, Fn fn);
+
+  [[nodiscard]] std::unique_ptr<LinkMetric> create(
+      const net::Link& link, const core::LineParamsTable& params) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
 
 }  // namespace arpanet::metrics

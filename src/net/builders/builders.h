@@ -1,0 +1,86 @@
+// Topology builders: the networks the paper's figures and our experiments
+// run on.
+//
+// Three families:
+//   * arpanet87()  — a 47-PSN / 75-trunk network resembling the July 1987
+//     ARPANET (section 5's "the ARPANET topology is rich with alternate
+//     paths"): heterogeneous trunking (9.6 kb/s tails, 56 kb/s core,
+//     multi-trunk lines, satellite links to HAWAII/NORSAR), no bridge
+//     trunks, mean minimum path around 3.5 hops.
+//   * two_region() — figure 1's shape: two equal regions joined by exactly
+//     two parallel trunks A and B, the smallest network that oscillates.
+//   * synthetic generators (ring, grid, random_connected, clustered,
+//     milnet_like) for property sweeps and scale studies.
+//
+// All builders are deterministic: the same call produces the same graph,
+// node ids and link ids (random_connected / clustered draw only from the
+// caller's Rng).
+
+#pragma once
+
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+
+namespace arpanet::net::builders {
+
+/// The ARPANET-like reference network plus the node handles experiments
+/// address by name.
+struct Arpanet87 {
+  Topology topo;
+  NodeId mit = kInvalidNode;   ///< east-coast anchor
+  NodeId ucla = kInvalidNode;  ///< west-coast anchor
+};
+
+[[nodiscard]] Arpanet87 arpanet87();
+
+/// Figure 1's two-region network: 2*per_region PSNs, each region internally
+/// well connected, the regions joined by exactly two parallel trunks with
+/// identical rate and propagation delay (links A and B).
+struct TwoRegionNet {
+  Topology topo;
+  std::vector<NodeId> region1;
+  std::vector<NodeId> region2;
+  LinkId link_a = kInvalidLink;  ///< inter-region trunk A (region1 -> region2)
+  LinkId link_b = kInvalidLink;  ///< inter-region trunk B (region1 -> region2)
+};
+
+[[nodiscard]] TwoRegionNet two_region(int per_region = 6);
+
+/// Cycle of n >= 3 nodes, 56 kb/s terrestrial trunks.
+[[nodiscard]] Topology ring(int n, LineType type = LineType::kTerrestrial56);
+
+/// width x height mesh, 56 kb/s terrestrial trunks.
+[[nodiscard]] Topology grid(int width, int height,
+                            LineType type = LineType::kTerrestrial56);
+
+/// Connected random graph: a random spanning tree (guaranteeing
+/// connectivity) plus `extra_trunks` distinct chords. Deterministic for a
+/// given Rng state.
+[[nodiscard]] Topology random_connected(int nodes, int extra_trunks,
+                                        util::Rng& rng,
+                                        LineType type = LineType::kTerrestrial56);
+
+/// Parameters for clustered(): `clusters` rings of `nodes_per_cluster`
+/// PSNs, adjacent clusters joined by `inter_trunks` trunks so no single
+/// trunk (or cluster gateway) partitions the network.
+struct ClusterSpec {
+  int clusters = 0;            ///< must be >= 3 (the cluster ring needs it)
+  int nodes_per_cluster = 0;   ///< must be >= 3
+  int intra_extra = 2;         ///< random chords inside each cluster
+  int inter_trunks = 2;        ///< trunks between adjacent clusters
+  LineType intra_type = LineType::kTerrestrial56;
+  LineType inter_type = LineType::kMultiTrunk112;
+};
+
+/// Builds the clustered network described by `spec`; throws
+/// std::invalid_argument if the spec cannot produce a 2-edge-connected graph.
+[[nodiscard]] Topology clustered(const ClusterSpec& spec, util::Rng& rng);
+
+/// A MILNET-like network: ~112 PSNs in 7 regional clusters, a large share
+/// of 9.6 kb/s tail trunks, satellite trunks to two overseas clusters
+/// (the paper's reference [2] deployment). Deterministic.
+[[nodiscard]] Topology milnet_like();
+
+}  // namespace arpanet::net::builders

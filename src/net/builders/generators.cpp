@@ -1,0 +1,177 @@
+// Synthetic topology generators: rings, grids, random connected graphs,
+// clustered networks, and the MILNET-like deployment target.
+
+#include "src/net/builders/builders.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace arpanet::net::builders {
+
+namespace {
+
+std::string num_name(const std::string& prefix, int i) {
+  return prefix + std::to_string(i);
+}
+
+}  // namespace
+
+Topology ring(int n, LineType type) {
+  if (n < 3) throw std::invalid_argument("ring: need at least 3 nodes");
+  Topology topo;
+  for (int i = 0; i < n; ++i) topo.add_node(num_name("r", i));
+  for (int i = 0; i < n; ++i) {
+    topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                    type);
+  }
+  return topo;
+}
+
+Topology grid(int width, int height, LineType type) {
+  if (width < 2 || height < 2) {
+    throw std::invalid_argument("grid: need at least 2x2");
+  }
+  Topology topo;
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      topo.add_node("g" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  const auto at = [width](int r, int c) {
+    return static_cast<NodeId>(r * width + c);
+  };
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      if (c + 1 < width) topo.add_duplex(at(r, c), at(r, c + 1), type);
+      if (r + 1 < height) topo.add_duplex(at(r, c), at(r + 1, c), type);
+    }
+  }
+  return topo;
+}
+
+Topology random_connected(int nodes, int extra_trunks, util::Rng& rng,
+                          LineType type) {
+  if (nodes < 2) throw std::invalid_argument("random_connected: need >= 2 nodes");
+  Topology topo;
+  for (int i = 0; i < nodes; ++i) topo.add_node(num_name("x", i));
+
+  std::set<std::pair<NodeId, NodeId>> trunks;
+  const auto add = [&](NodeId a, NodeId b) {
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (a == b || !trunks.insert(key).second) return false;
+    topo.add_duplex(a, b, type);
+    return true;
+  };
+
+  // Random spanning tree: each node joins an already-connected predecessor.
+  for (int i = 1; i < nodes; ++i) {
+    add(static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(i))),
+        static_cast<NodeId>(i));
+  }
+  // Chords. Attempts are bounded so a dense request cannot spin forever.
+  int added = 0;
+  for (int attempt = 0; added < extra_trunks && attempt < 100 * extra_trunks + 100;
+       ++attempt) {
+    const auto a = static_cast<NodeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(nodes)));
+    const auto b = static_cast<NodeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(nodes)));
+    if (add(a, b)) ++added;
+  }
+  return topo;
+}
+
+Topology clustered(const ClusterSpec& spec, util::Rng& rng) {
+  if (spec.clusters < 3) {
+    throw std::invalid_argument("clustered: need >= 3 clusters");
+  }
+  if (spec.nodes_per_cluster < 3) {
+    throw std::invalid_argument("clustered: need >= 3 nodes per cluster");
+  }
+  if (spec.inter_trunks < 1 || spec.intra_extra < 0) {
+    throw std::invalid_argument("clustered: bad trunk counts");
+  }
+  Topology topo;
+  std::vector<std::vector<NodeId>> members(
+      static_cast<std::size_t>(spec.clusters));
+  for (int c = 0; c < spec.clusters; ++c) {
+    auto& m = members[static_cast<std::size_t>(c)];
+    for (int i = 0; i < spec.nodes_per_cluster; ++i) {
+      m.push_back(topo.add_node("c" + std::to_string(c) + "n" +
+                                std::to_string(i)));
+    }
+    // Intra-cluster ring (every node gets >= 2 trunks) plus random chords.
+    for (int i = 0; i < spec.nodes_per_cluster; ++i) {
+      topo.add_duplex(m[static_cast<std::size_t>(i)],
+                      m[static_cast<std::size_t>((i + 1) % spec.nodes_per_cluster)],
+                      spec.intra_type);
+    }
+    for (int k = 0; k < spec.intra_extra; ++k) {
+      const auto n = static_cast<std::uint64_t>(spec.nodes_per_cluster);
+      const NodeId a = m[rng.uniform_index(n)];
+      const NodeId b = m[rng.uniform_index(n)];
+      if (a != b) topo.add_duplex(a, b, spec.intra_type);
+    }
+  }
+  // Cluster ring: adjacent clusters joined by inter_trunks trunks through
+  // random gateways. With >= 3 clusters the ring keeps the network
+  // 2-edge-connected at the cluster level.
+  for (int c = 0; c < spec.clusters; ++c) {
+    const auto& from = members[static_cast<std::size_t>(c)];
+    const auto& to = members[static_cast<std::size_t>((c + 1) % spec.clusters)];
+    for (int k = 0; k < spec.inter_trunks; ++k) {
+      topo.add_duplex(
+          from[rng.uniform_index(static_cast<std::uint64_t>(from.size()))],
+          to[rng.uniform_index(static_cast<std::uint64_t>(to.size()))],
+          spec.inter_type);
+    }
+  }
+  return topo;
+}
+
+Topology milnet_like() {
+  // 7 regional clusters of 16 PSNs = 112 nodes. Clusters 5 and 6 are the
+  // overseas regions: every trunk reaching them is a satellite link. A
+  // quarter of each cluster's ring runs at 9.6 kb/s (the MILNET's slow-tail
+  // character). Deterministic: fixed structure, fixed gateways.
+  constexpr int kClusters = 7;
+  constexpr int kPerCluster = 16;
+  Topology topo;
+  std::vector<std::vector<NodeId>> members(kClusters);
+  for (int c = 0; c < kClusters; ++c) {
+    auto& m = members[static_cast<std::size_t>(c)];
+    for (int i = 0; i < kPerCluster; ++i) {
+      m.push_back(topo.add_node("m" + std::to_string(c) + "n" +
+                                std::to_string(i)));
+    }
+    for (int i = 0; i < kPerCluster; ++i) {
+      // Every fourth ring section is a 9.6 kb/s tail trunk.
+      const LineType type = (i % 4 == 3) ? LineType::kTerrestrial9_6
+                                         : LineType::kTerrestrial56;
+      topo.add_duplex(m[static_cast<std::size_t>(i)],
+                      m[static_cast<std::size_t>((i + 1) % kPerCluster)], type);
+    }
+    // Two cross-chords keep intra-cluster paths short.
+    topo.add_duplex(m[0], m[8], LineType::kTerrestrial56);
+    topo.add_duplex(m[4], m[12], LineType::kTerrestrial56);
+  }
+  const auto overseas = [](int c) { return c == 5 || c == 6; };
+  for (int c = 0; c < kClusters; ++c) {
+    const int d = (c + 1) % kClusters;
+    const LineType type = (overseas(c) || overseas(d))
+                              ? LineType::kSatellite56
+                              : LineType::kMultiTrunk112;
+    const auto& from = members[static_cast<std::size_t>(c)];
+    const auto& to = members[static_cast<std::size_t>(d)];
+    // Two gateway trunks per adjacent cluster pair, distinct endpoints.
+    topo.add_duplex(from[2], to[10], type);
+    topo.add_duplex(from[6], to[14], type);
+  }
+  // One transcontinental shortcut between the two largest domestic hubs.
+  topo.add_duplex(members[0][0], members[3][0], LineType::kMultiTrunk112);
+  return topo;
+}
+
+}  // namespace arpanet::net::builders

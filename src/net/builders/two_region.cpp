@@ -1,0 +1,61 @@
+// Figure 1's two-region network.
+//
+// "Consider a network that consists of two regions connected by two links,
+// A and B" — the smallest shape on which the 1979 metric oscillates: all
+// inter-region traffic must choose between A and B each shortest-path
+// computation, and with D-SPF the whole load swings between them every
+// measurement period (fig. 1's square wave).
+
+#include "src/net/builders/builders.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace arpanet::net::builders {
+
+namespace {
+
+/// One region: a ring (2-edge-connected) plus a diameter chord so
+/// intra-region paths stay short relative to the inter-region hop.
+std::vector<NodeId> add_region(Topology& topo, const std::string& prefix,
+                               int n) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(topo.add_node(prefix + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    topo.add_duplex(nodes[static_cast<std::size_t>(i)],
+                    nodes[static_cast<std::size_t>((i + 1) % n)],
+                    LineType::kTerrestrial56);
+  }
+  if (n >= 5) {
+    topo.add_duplex(nodes[1], nodes[static_cast<std::size_t>(1 + n / 2)],
+                    LineType::kTerrestrial56);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+TwoRegionNet two_region(int per_region) {
+  if (per_region < 3) {
+    throw std::invalid_argument("two_region: need at least 3 nodes per region");
+  }
+  TwoRegionNet net;
+  net.region1 = add_region(net.topo, "A", per_region);
+  net.region2 = add_region(net.topo, "B", per_region);
+
+  // The two parallel inter-region trunks. Identical line type (hence rate
+  // and propagation delay), different endpoints: figure 1 requires the
+  // choice between them to be driven by reported cost alone.
+  const std::size_t half = static_cast<std::size_t>(per_region) / 2;
+  net.link_a =
+      net.topo.add_duplex(net.region1[0], net.region2[0], LineType::kTerrestrial56);
+  net.link_b =
+      net.topo.add_duplex(net.region1[half], net.region2[half],
+                          LineType::kTerrestrial56);
+  return net;
+}
+
+}  // namespace arpanet::net::builders

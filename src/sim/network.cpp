@@ -10,6 +10,9 @@ namespace arpanet::sim {
 Network::Network(const net::Topology& topo, NetworkConfig cfg)
     : topo_{&topo},
       cfg_{cfg},
+      factory_{cfg.metric_factory
+                   ? cfg.metric_factory
+                   : std::make_shared<metrics::KindMetricFactory>(cfg.metric)},
       rng_{cfg.seed},
       sizer_{cfg.mean_packet_bits},
       min_hop_table_{routing::min_hop_lengths(topo)},
@@ -21,8 +24,7 @@ Network::Network(const net::Topology& topo, NetworkConfig cfg)
   // initial cost), so the initial trees are consistent network-wide.
   routing::LinkCosts initial(topo.link_count());
   for (const net::Link& l : topo.links()) {
-    initial[l.id] =
-        metrics::make_metric(cfg.metric, l, cfg.line_params)->initial_cost();
+    initial[l.id] = factory_->create(l, cfg.line_params)->initial_cost();
   }
   psns_.reserve(topo.node_count());
   for (net::NodeId n = 0; n < topo.node_count(); ++n) {

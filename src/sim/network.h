@@ -22,6 +22,7 @@
 
 #include "src/core/line_params.h"
 #include "src/metrics/link_metric.h"
+#include "src/metrics/metric_factory.h"
 #include "src/net/topology.h"
 #include "src/routing/routing_table.h"
 #include "src/sim/packet_trace.h"
@@ -42,6 +43,10 @@ struct NetworkConfig {
   /// modifies, kDistanceVector the 1969 original kept as a baseline.
   routing::RoutingAlgorithm algorithm = routing::RoutingAlgorithm::kSpf;
   metrics::MetricKind metric = metrics::MetricKind::kHnSpf;
+  /// Open injection point for custom link metrics. When set it overrides
+  /// `metric`; when null the network builds a KindMetricFactory from
+  /// `metric`. Shared (not owned) so sweep cells can reuse one factory.
+  std::shared_ptr<const metrics::MetricFactory> metric_factory;
   core::LineParamsTable line_params = core::LineParamsTable::arpanet_defaults();
   /// The ARPANET's ten-second measurement interval.
   util::SimTime measurement_period = util::SimTime::from_sec(10);
@@ -142,6 +147,10 @@ class Network {
 
   [[nodiscard]] const net::Topology& topology() const { return *topo_; }
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+  /// The metric factory in effect (config's, or one built from its kind).
+  [[nodiscard]] const metrics::MetricFactory& metric_factory() const {
+    return *factory_;
+  }
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] util::SimTime now() const { return sim_.now(); }
 
@@ -203,6 +212,7 @@ class Network {
 
   const net::Topology* topo_;
   NetworkConfig cfg_;
+  std::shared_ptr<const metrics::MetricFactory> factory_;
   Simulator sim_;
   util::Rng rng_;
   traffic::PacketSizer sizer_;

@@ -35,8 +35,7 @@ Psn::Psn(Network& net, net::NodeId id, routing::LinkCosts initial_costs)
   out_.reserve(topo.out_links(id).size());
   for (const net::LinkId lid : topo.out_links(id)) {
     const net::Link& link = topo.link(lid);
-    auto metric = metrics::make_metric(net.config().metric, link,
-                                       net.config().line_params);
+    auto metric = net.metric_factory().create(link, net.config().line_params);
     auto filter =
         make_filter(*metric, net.config().significance_threshold_override);
     const double initial = metric->initial_cost();

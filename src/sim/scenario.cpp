@@ -1,9 +1,106 @@
 #include "src/sim/scenario.h"
 
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
 namespace arpanet::sim {
+
+ScenarioConfig& ScenarioConfig::with_metric(metrics::MetricKind m) {
+  metric = m;
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_metric_factory(
+    std::shared_ptr<const metrics::MetricFactory> factory) {
+  if (!factory) {
+    throw std::invalid_argument("ScenarioConfig: null metric factory");
+  }
+  network.metric_factory = std::move(factory);
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_load_bps(double bps) {
+  if (bps < 0.0) {
+    throw std::invalid_argument("ScenarioConfig: offered load must be >= 0");
+  }
+  offered_load_bps = bps;
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_shape(TrafficShape s) {
+  shape = s;
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_warmup(util::SimTime t) {
+  if (t < util::SimTime::zero()) {
+    throw std::invalid_argument("ScenarioConfig: warmup must be >= 0");
+  }
+  warmup = t;
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_window(util::SimTime t) {
+  if (t <= util::SimTime::zero()) {
+    throw std::invalid_argument(
+        "ScenarioConfig: measurement window must be > 0");
+  }
+  window = t;
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_label(std::string l) {
+  label = std::move(l);
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_network(NetworkConfig cfg) {
+  network = std::move(cfg);
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_matrix(traffic::TrafficMatrix m) {
+  matrix = std::move(m);
+  return *this;
+}
+
+std::string ScenarioConfig::effective_label() const {
+  if (!label.empty()) return label;
+  if (network.metric_factory) return network.metric_factory->name();
+  return to_string(metric);
+}
+
+void ScenarioConfig::validate() const {
+  if (offered_load_bps < 0.0) {
+    throw std::invalid_argument("ScenarioConfig: offered load must be >= 0");
+  }
+  if (warmup < util::SimTime::zero()) {
+    throw std::invalid_argument("ScenarioConfig: warmup must be >= 0");
+  }
+  if (window <= util::SimTime::zero()) {
+    throw std::invalid_argument(
+        "ScenarioConfig: measurement window must be > 0");
+  }
+  if (network.queue_capacity <= 0) {
+    throw std::invalid_argument("ScenarioConfig: queue capacity must be > 0");
+  }
+}
 
 traffic::TrafficMatrix scenario_matrix(const net::Topology& topo,
                                        const ScenarioConfig& cfg) {
+  if (cfg.matrix) {
+    if (cfg.matrix->nodes() != topo.node_count()) {
+      throw std::invalid_argument(
+          "ScenarioConfig: explicit matrix size does not match topology");
+    }
+    return *cfg.matrix;
+  }
   switch (cfg.shape) {
     case TrafficShape::kUniform:
       return traffic::TrafficMatrix::uniform(topo.node_count(),
@@ -18,6 +115,8 @@ traffic::TrafficMatrix scenario_matrix(const net::Topology& topo,
 
 ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg,
                             const std::string& label) {
+  cfg.validate();
+  const auto start = std::chrono::steady_clock::now();
   NetworkConfig ncfg = cfg.network;
   ncfg.metric = cfg.metric;
   ncfg.seed = cfg.seed;
@@ -26,7 +125,14 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
   network.run_for(cfg.warmup);
   network.reset_stats();
   network.run_for(cfg.window);
-  return ScenarioResult{network.indicators(label), network.stats()};
+  ScenarioResult result{
+      network.indicators(label.empty() ? cfg.effective_label() : label),
+      network.stats()};
+  result.events_processed = network.simulator().events_processed();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
 }
 
 }  // namespace arpanet::sim

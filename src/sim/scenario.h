@@ -3,17 +3,39 @@
 // Wraps the build-network / attach-traffic / warm-up / measure sequence that
 // every whole-network experiment (Table 1, fig. 13, the examples, the
 // integration tests) repeats.
+//
+// ScenarioConfig is both an aggregate (existing call sites assign fields
+// directly) and a fluent builder with validated setters:
+//
+//   auto cfg = sim::ScenarioConfig{}
+//                  .with_metric(metrics::MetricKind::kHnSpf)
+//                  .with_load_bps(414e3)
+//                  .with_seed(0x1987);
+//
+// New code should go through exp::Experiment (src/exp/experiment.h), which
+// runs single scenarios and parallel sweeps through this config type.
 
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/net/topology.h"
 #include "src/sim/network.h"
+#include "src/traffic/traffic_matrix.h"
 
 namespace arpanet::sim {
 
 enum class TrafficShape { kUniform, kPeakHour };
+
+[[nodiscard]] constexpr const char* to_string(TrafficShape s) {
+  switch (s) {
+    case TrafficShape::kUniform: return "uniform";
+    case TrafficShape::kPeakHour: return "peak-hour";
+  }
+  return "?";
+}
 
 struct ScenarioConfig {
   metrics::MetricKind metric = metrics::MetricKind::kHnSpf;
@@ -24,15 +46,54 @@ struct ScenarioConfig {
   util::SimTime window = util::SimTime::from_sec(600);
   std::uint64_t seed = 0x19870726ULL;
   NetworkConfig network;  ///< metric field is overwritten from `metric`
+  /// Result label (indicator column). Empty: derived from the metric.
+  std::string label;
+  /// Explicit traffic matrix; overrides shape/offered_load_bps when set.
+  std::optional<traffic::TrafficMatrix> matrix;
+
+  // ---- fluent, validated setters ----
+  // Each returns *this so calls chain; each throws std::invalid_argument on
+  // a value the simulator could not run.
+
+  ScenarioConfig& with_metric(metrics::MetricKind m);
+  /// Also clears `metric`-based construction: the factory wins.
+  ScenarioConfig& with_metric_factory(
+      std::shared_ptr<const metrics::MetricFactory> factory);
+  ScenarioConfig& with_load_bps(double bps);       ///< rejects negative load
+  ScenarioConfig& with_shape(TrafficShape s);
+  ScenarioConfig& with_warmup(util::SimTime t);    ///< rejects negative
+  ScenarioConfig& with_window(util::SimTime t);    ///< rejects zero/negative
+  ScenarioConfig& with_seed(std::uint64_t s);
+  ScenarioConfig& with_label(std::string l);
+  ScenarioConfig& with_network(NetworkConfig cfg);
+  ScenarioConfig& with_matrix(traffic::TrafficMatrix m);
+
+  /// The label a run of this config reports: `label`, or the metric
+  /// factory's name, or the metric kind's.
+  [[nodiscard]] std::string effective_label() const;
+
+  /// Full-config check (the setters validate only their own field; direct
+  /// aggregate writes bypass them). Throws std::invalid_argument.
+  void validate() const;
 };
 
 struct ScenarioResult {
   stats::NetworkIndicators indicators;
   NetworkStats stats;
+  // ---- per-run telemetry ----
+  double wall_seconds = 0.0;            ///< host time spent in the run
+  std::uint64_t events_processed = 0;   ///< simulator events executed
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events_processed) / wall_seconds
+                            : 0.0;
+  }
 };
 
 /// Runs one scenario to completion and returns the measurement-window
-/// results. `label` names the indicator column (e.g. "D-SPF").
+/// results. `label` names the indicator column (e.g. "D-SPF"); when empty
+/// the config's effective label is used. Prefer exp::Experiment for new
+/// code; this remains the single-run primitive underneath it.
 [[nodiscard]] ScenarioResult run_scenario(const net::Topology& topo,
                                           const ScenarioConfig& cfg,
                                           const std::string& label);
