@@ -1,0 +1,225 @@
+#include "src/analysis/invariants.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/metrics/dspf_metric.h"
+#include "src/metrics/metric_factory.h"
+#include "src/sim/network.h"
+#include "src/sim/psn.h"
+#include "src/util/check.h"
+
+namespace arpanet::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True for the sentinel a PSN advertises for an unusable link; such values
+/// deliberately sit outside the metric's bounds and are exempt from the
+/// cost invariants.
+bool is_down_cost(double cost) { return cost == sim::Psn::kDownLinkCost; }
+
+}  // namespace
+
+void check_cost_in_bounds(double cost, double min_cost, double max_cost,
+                          const char* what) {
+  ARPA_CHECK(std::isfinite(cost)) << what << " is not finite: " << cost;
+  ARPA_CHECK(cost >= min_cost - kCostSlack)
+      << what << " " << cost << " below line-type minimum " << min_cost;
+  ARPA_CHECK(cost <= max_cost + kCostSlack)
+      << what << " " << cost << " above line-type maximum " << max_cost;
+}
+
+void check_movement_limited(double previous, double next,
+                            const core::LineTypeParams& params,
+                            double extra_slack) {
+  const double up = next - previous;
+  ARPA_CHECK(up <= params.up_limit() + extra_slack + kCostSlack)
+      << "cost rose " << previous << " -> " << next << " (+" << up
+      << "), above the per-update up limit " << params.up_limit()
+      << " (+ slack " << extra_slack << ")";
+  ARPA_CHECK(-up <= params.down_limit() + extra_slack + kCostSlack)
+      << "cost fell " << previous << " -> " << next << " (" << up
+      << "), below the per-update down limit " << params.down_limit()
+      << " (+ slack " << extra_slack << ")";
+}
+
+void check_flat_region(const core::HnMetric& metric, int samples) {
+  ARPA_CHECK(samples >= 2) << "flat-region check needs at least 2 samples";
+  const double threshold = metric.params().flat_threshold;
+  double last = -kInf;
+  for (int i = 0; i < samples; ++i) {
+    const double u = static_cast<double>(i) / (samples - 1);
+    const double cost = metric.equilibrium_cost(u);
+    check_cost_in_bounds(cost, metric.min_cost(), metric.max_cost(),
+                         "equilibrium cost");
+    if (u <= threshold) {
+      ARPA_CHECK(cost <= metric.min_cost() + kCostSlack)
+          << "equilibrium cost " << cost << " at utilization " << u
+          << " is above the minimum " << metric.min_cost()
+          << " inside the flat region (threshold " << threshold << ")";
+    }
+    ARPA_CHECK(cost >= last - kCostSlack)
+        << "equilibrium map decreases at utilization " << u << ": " << last
+        << " -> " << cost;
+    last = cost;
+  }
+  ARPA_CHECK(std::abs(metric.equilibrium_cost(1.0) - metric.max_cost()) <=
+             kCostSlack)
+      << "equilibrium cost at 100% utilization is "
+      << metric.equilibrium_cost(1.0) << ", expected the maximum "
+      << metric.max_cost();
+}
+
+void MonotonicTimeChecker::observe(util::SimTime t) {
+  if (count_ > 0) {
+    ARPA_CHECK(t >= last_) << what_ << " went backwards: " << last_.us()
+                           << "us -> " << t.us() << "us";
+  }
+  last_ = t;
+  ++count_;
+}
+
+void check_spf_tree(const net::Topology& topo, const routing::SpfTree& tree,
+                    std::span<const double> costs) {
+  const std::size_t n = topo.node_count();
+  ARPA_CHECK(tree.root < n) << "SPF tree root " << tree.root
+                            << " out of range for " << n << " nodes";
+  ARPA_CHECK(tree.dist.size() == n && tree.parent_link.size() == n &&
+             tree.first_hop.size() == n && tree.hops.size() == n)
+      << "SPF tree arrays not sized to the node count " << n;
+  ARPA_CHECK(costs.size() == topo.link_count())
+      << "cost vector size " << costs.size() << " != link count "
+      << topo.link_count();
+
+  ARPA_CHECK(tree.dist[tree.root] == 0.0)
+      << "root distance is " << tree.dist[tree.root];
+  ARPA_CHECK(tree.parent_link[tree.root] == net::kInvalidLink &&
+             tree.first_hop[tree.root] == net::kInvalidLink &&
+             tree.hops[tree.root] == 0)
+      << "root has a parent, first hop, or nonzero hop count";
+
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (v == tree.root) continue;
+    if (tree.dist[v] == kInf) {
+      ARPA_CHECK(!topo.is_connected())
+          << "node " << v << " unreachable in a connected topology";
+      ARPA_CHECK(tree.parent_link[v] == net::kInvalidLink &&
+                 tree.first_hop[v] == net::kInvalidLink && tree.hops[v] == -1)
+          << "unreachable node " << v << " has tree structure";
+      continue;
+    }
+    const net::LinkId pl = tree.parent_link[v];
+    ARPA_CHECK(pl != net::kInvalidLink)
+        << "reached node " << v << " has no parent link";
+    const net::Link& link = topo.link(pl);
+    ARPA_CHECK(link.to == v) << "parent link " << pl << " of node " << v
+                             << " ends at node " << link.to;
+    ARPA_CHECK(std::abs(tree.dist[link.from] + costs[pl] - tree.dist[v]) <=
+               kCostSlack)
+        << "node " << v << ": dist " << tree.dist[v]
+        << " != parent dist " << tree.dist[link.from] << " + link cost "
+        << costs[pl];
+    ARPA_CHECK(tree.dist[v] > tree.dist[link.from])
+        << "node " << v << ": distance did not increase along tree edge "
+        << pl << " (positive costs require it)";
+    ARPA_CHECK(tree.hops[v] == tree.hops[link.from] + 1)
+        << "node " << v << ": hop count " << tree.hops[v]
+        << " != parent's " << tree.hops[link.from] << " + 1";
+    const net::LinkId expected_first =
+        link.from == tree.root ? pl : tree.first_hop[link.from];
+    ARPA_CHECK(tree.first_hop[v] == expected_first)
+        << "node " << v << ": first hop " << tree.first_hop[v]
+        << " disagrees with its parent chain (" << expected_first << ")";
+  }
+
+  // Acyclicity: every parent chain must reach the root within n steps.
+  // (Strictly increasing distance along edges already forbids cycles; this
+  // catches a corrupted parent array whose distances lie.)
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (tree.dist[v] == kInf) continue;
+    net::NodeId at = v;
+    std::size_t steps = 0;
+    while (at != tree.root) {
+      ARPA_CHECK(++steps <= n)
+          << "parent chain from node " << v << " does not reach the root";
+      at = topo.link(tree.parent_link[at]).from;
+    }
+  }
+}
+
+AuditStats audit_network(const sim::Network& net) {
+  const net::Topology& topo = net.topology();
+  const sim::NetworkConfig& cfg = net.config();
+  AuditStats stats;
+
+  // Bounds and flat regions apply only when we know the semantics of the
+  // metric producing the costs: the built-in HN-SPF kind with the
+  // network's own line-parameter table.
+  const auto* kind_factory =
+      dynamic_cast<const metrics::KindMetricFactory*>(&net.metric_factory());
+  const bool hnspf =
+      kind_factory && kind_factory->kind() == metrics::MetricKind::kHnSpf;
+  const bool dspf =
+      kind_factory && kind_factory->kind() == metrics::MetricKind::kDspf;
+
+  for (const net::Link& link : topo.links()) {
+    const core::LineTypeParams& params = cfg.line_params.for_type(link.type);
+    const double min_cost = params.min_cost(link.prop_delay);
+
+    const double reported = net.psn(link.from).reported_cost(link.id);
+    if (!is_down_cost(reported)) {
+      if (hnspf) {
+        check_cost_in_bounds(reported, min_cost, params.max_cost);
+      } else if (dspf) {
+        check_cost_in_bounds(
+            reported,
+            metrics::DspfMetric{link.rate, link.prop_delay}.bias(),
+            metrics::DspfMetric::kMaxUnits, "D-SPF reported cost");
+      } else {
+        ARPA_CHECK(std::isfinite(reported) && reported > 0.0)
+            << "link " << link.id << " reported non-positive cost "
+            << reported;
+      }
+      ++stats.costs_checked;
+    }
+
+    if (hnspf) {
+      check_flat_region(
+          core::HnMetric{params, link.rate, link.prop_delay});
+      ++stats.maps_checked;
+    }
+
+    if (cfg.track_reported_costs) {
+      // Report-to-report movement may accumulate sub-threshold drift on
+      // top of one period's limited move before an update carries it.
+      const double threshold = cfg.significance_threshold_override >= 0.0
+                                   ? cfg.significance_threshold_override
+                                   : params.change_threshold();
+      MonotonicTimeChecker times{"reported-cost trace"};
+      double previous = kInf;
+      for (const auto& [at, cost] : net.reported_cost_trace(link.id)) {
+        times.observe(at);
+        if (hnspf && previous != kInf && !is_down_cost(previous) &&
+            !is_down_cost(cost)) {
+          check_movement_limited(previous, cost, params, threshold);
+          ++stats.trace_steps_checked;
+        }
+        previous = cost;
+      }
+    }
+  }
+
+  if (cfg.algorithm == routing::RoutingAlgorithm::kSpf) {
+    for (net::NodeId node = 0; node < topo.node_count(); ++node) {
+      const routing::IncrementalSpf& spf = net.psn(node).spf();
+      check_spf_tree(topo, spf.tree(), spf.costs());
+      ++stats.trees_checked;
+    }
+  }
+
+  return stats;
+}
+
+}  // namespace arpanet::analysis

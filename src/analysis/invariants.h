@@ -1,0 +1,116 @@
+// Runtime enforcement of the paper's metric and routing invariants.
+//
+// The revised metric is specified as a handful of hard properties (sections
+// 4.2-4.4): the reported cost of a line always lies between its
+// propagation-adjusted minimum and the line-type maximum; consecutive
+// reports move at most "a little more than a half-hop" up and one unit less
+// than that down; below the utilization threshold the equilibrium cost is
+// flat at the minimum; and the SPF machinery everything rides on assumes
+// monotone event time and structurally consistent shortest-path trees.
+// Related delay-metric work (Jonglez et al., Van Bemten et al.'s Mn
+// taxonomy) shows that violations of exactly these properties are what
+// silently corrupt routing results — so this module makes every violation
+// fatal via ARPA_CHECK instead of a skewed CSV column.
+//
+// Two usage layers:
+//   * free check_* functions / MonotonicTimeChecker — direct enforcement,
+//     used by tests and by hot-path ARPA_DCHECKs in core/sim/routing;
+//   * audit_network — the end-of-run self-audit sim::run_scenario performs
+//     on every scenario (ScenarioConfig::self_audit), walking all PSNs'
+//     reported costs, cost traces and SPF trees.
+
+#pragma once
+
+#include <span>
+
+#include "src/core/hn_metric.h"
+#include "src/core/line_params.h"
+#include "src/net/topology.h"
+#include "src/routing/spf.h"
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+class Network;
+}  // namespace arpanet::sim
+
+namespace arpanet::analysis {
+
+/// Absolute slack for floating-point cost comparisons. Costs are O(10-300)
+/// routing units computed with a handful of multiply-adds, so anything
+/// beyond this is a real violation, not roundoff.
+inline constexpr double kCostSlack = 1e-6;
+
+/// Fatal unless `cost` lies in [min_cost - slack, max_cost + slack] —
+/// the absolute-bound invariant of paper section 4.4. `what` names the
+/// checked quantity in the failure message.
+void check_cost_in_bounds(double cost, double min_cost, double max_cost,
+                          const char* what = "reported cost");
+
+/// Fatal unless the step from `previous` to `next` obeys the per-update
+/// movement limits of section 4.3: at most up_limit() up and down_limit()
+/// down. `extra_slack` widens both bounds; network-level report-to-report
+/// checks pass the significance threshold here, because a cost may drift
+/// sub-threshold for several periods before an update carries it.
+void check_movement_limited(double previous, double next,
+                            const core::LineTypeParams& params,
+                            double extra_slack = 0.0);
+
+/// Fatal unless the metric's equilibrium map has the section 4.2 shape:
+/// flat at min_cost() for utilizations below flat_threshold, non-decreasing
+/// above it, and exactly max_cost() at 100%. Samples the map at `samples`
+/// evenly spaced utilizations.
+void check_flat_region(const core::HnMetric& metric, int samples = 101);
+
+/// Streaming check that a sequence of timestamps never goes backwards
+/// (event-queue pops, per-link cost traces, packet traces).
+class MonotonicTimeChecker {
+ public:
+  explicit MonotonicTimeChecker(const char* what = "timestamp")
+      : what_{what} {}
+
+  /// Fatal if `t` precedes the previously observed timestamp.
+  void observe(util::SimTime t);
+
+  [[nodiscard]] long observed() const { return count_; }
+
+ private:
+  const char* what_;
+  util::SimTime last_ = util::SimTime::zero();
+  long count_ = 0;
+};
+
+/// Fatal unless `tree` is structurally valid for `topo` and `costs`:
+/// root at distance 0 with no parent; every reached node's parent edge
+/// consistent (dist[to] == dist[from] + cost within slack); parent chains
+/// acyclic and terminating at the root; first hops matching the parent
+/// chain; and every node reachable (all costs here are finite and the
+/// topologies are connected by construction).
+void check_spf_tree(const net::Topology& topo, const routing::SpfTree& tree,
+                    std::span<const double> costs);
+
+/// What audit_network covered, so callers can assert the audit actually
+/// inspected something (a zero count in a test means the hook is dead).
+struct AuditStats {
+  long costs_checked = 0;        ///< live reported costs, bounds-checked
+  long trace_steps_checked = 0;  ///< cost-trace transitions, movement-checked
+  long trees_checked = 0;        ///< per-PSN SPF trees validated
+  long maps_checked = 0;         ///< per-link equilibrium maps validated
+
+  AuditStats& operator+=(const AuditStats& o) {
+    costs_checked += o.costs_checked;
+    trace_steps_checked += o.trace_steps_checked;
+    trees_checked += o.trees_checked;
+    maps_checked += o.maps_checked;
+    return *this;
+  }
+};
+
+/// Full-network self-audit; any violated invariant aborts via ARPA_CHECK.
+/// Always checks that reported costs are positive and finite and (in SPF
+/// mode) that every PSN's tree is valid against its own cost map. When the
+/// network runs the HN-SPF metric with known line parameters, additionally
+/// enforces cost bounds, flat regions, and — if reported-cost traces were
+/// recorded — timestamp monotonicity and movement limits per trace.
+AuditStats audit_network(const sim::Network& net);
+
+}  // namespace arpanet::analysis

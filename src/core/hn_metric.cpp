@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/check.h"
+
 namespace arpanet::core {
 
 HnMetric::HnMetric(LineTypeParams params, util::DataRate rate,
@@ -14,6 +16,13 @@ HnMetric::HnMetric(LineTypeParams params, util::DataRate rate,
   if (!(params.base_min > 0) || !(params.max_cost > params.base_min) ||
       !(params.flat_threshold > 0) || !(params.flat_threshold < 1)) {
     throw std::invalid_argument("invalid LineTypeParams");
+  }
+  // The propagation-adjusted minimum can reach 2*base_min (geostationary
+  // cap); the cost range [min, max] must stay non-empty or the clip is
+  // ill-defined.
+  if (!(min_cost_ < params.max_cost)) {
+    throw std::invalid_argument(
+        "LineTypeParams: propagation-adjusted minimum exceeds max_cost");
   }
   on_link_up();
 }
@@ -42,6 +51,18 @@ double HnMetric::update_from_utilization(double sample_utilization) {
   const double raw = params_.raw_cost(last_average_);
   const double limited = limit_movement(raw);
   const double revised = clip(limited);
+  // Paper invariants (sections 4.3/4.4), enforced in debug builds on every
+  // period: the revised cost stays inside the line's absolute bounds and
+  // moves at most one up/down limit from the previous report.
+  ARPA_DCHECK(revised >= min_cost_ && revised <= params_.max_cost)
+      << "revised cost " << revised << " outside [" << min_cost_ << ", "
+      << params_.max_cost << "]";
+  ARPA_DCHECK(revised - last_reported_ <= params_.up_limit())
+      << "revised cost rose " << last_reported_ << " -> " << revised
+      << ", past the up limit " << params_.up_limit();
+  ARPA_DCHECK(last_reported_ - revised <= params_.down_limit())
+      << "revised cost fell " << last_reported_ << " -> " << revised
+      << ", past the down limit " << params_.down_limit();
   last_reported_ = revised;
   return revised;
 }

@@ -197,6 +197,12 @@ std::uint64_t SweepResult::total_events() const {
   return total;
 }
 
+analysis::AuditStats SweepResult::total_audit() const {
+  analysis::AuditStats total;
+  for (const SweepRun& r : runs) total += r.result.audit;
+  return total;
+}
+
 double SweepResult::speedup() const {
   return elapsed_seconds > 0 ? total_run_seconds() / elapsed_seconds : 0.0;
 }

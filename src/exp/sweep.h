@@ -109,6 +109,9 @@ class SweepResult {
   /// Sum of per-run wall times (the serial-equivalent cost).
   [[nodiscard]] double total_run_seconds() const;
   [[nodiscard]] std::uint64_t total_events() const;
+  /// Aggregated self-audit coverage across all cells (every cell ran the
+  /// end-of-run invariant audit unless the base config disabled it).
+  [[nodiscard]] analysis::AuditStats total_audit() const;
   /// total_run_seconds / elapsed_seconds: the achieved parallelism.
   [[nodiscard]] double speedup() const;
 

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/util/check.h"
+
 namespace arpanet::routing {
 
 namespace {
@@ -63,6 +65,12 @@ void derive_structure(const net::Topology& topo, std::span<const double> costs,
   for (const net::NodeId v : order) {
     if (v == tree.root || tree.parent_link[v] == net::kInvalidLink) continue;
     const net::Link& pl = topo.link(tree.parent_link[v]);
+    // Parents settle before children in this order, so the parent's
+    // structure must already exist — a -1 here means the distance array is
+    // inconsistent with the parent derivation.
+    ARPA_DCHECK(pl.from == tree.root || tree.hops[pl.from] >= 0)
+        << "node " << v << " derived a parent (" << pl.from
+        << ") with no structure yet";
     tree.hops[v] = tree.hops[pl.from] + 1;
     tree.first_hop[v] =
         (pl.from == tree.root) ? pl.id : tree.first_hop[pl.from];

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/util/check.h"
+
 namespace arpanet::sim {
 
 void EventQueue::schedule(util::SimTime at, Action action) {
@@ -10,6 +12,7 @@ void EventQueue::schedule(util::SimTime at, Action action) {
 }
 
 EventQueue::Action EventQueue::pop(util::SimTime& at) {
+  ARPA_DCHECK(!heap_.empty()) << "pop from an empty event queue";
   Entry e = heap_.top();
   heap_.pop();
   at = e.at;

@@ -1,9 +1,12 @@
 #include "src/sim/network.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "src/analysis/invariants.h"
 #include "src/metrics/metric_factory.h"
+#include "src/util/check.h"
 
 namespace arpanet::sim {
 
@@ -26,6 +29,13 @@ Network::Network(const net::Topology& topo, NetworkConfig cfg)
   for (const net::Link& l : topo.links()) {
     initial[l.id] = factory_->create(l, cfg.line_params)->initial_cost();
   }
+  // The per-report invariant checks know the cost semantics only for the
+  // built-in HN-SPF kind; custom factories are checked for positivity alone.
+  const auto* kind_factory =
+      dynamic_cast<const metrics::KindMetricFactory*>(factory_.get());
+  hnspf_invariants_ =
+      kind_factory && kind_factory->kind() == metrics::MetricKind::kHnSpf;
+  last_reported_cost_ = initial;
   psns_.reserve(topo.node_count());
   for (net::NodeId n = 0; n < topo.node_count(); ++n) {
     psns_.push_back(std::make_unique<Psn>(*this, n, initial));
@@ -110,6 +120,28 @@ void Network::on_transmission(net::LinkId link, util::SimTime busy) {
 }
 
 void Network::on_cost_reported(net::LinkId link, double cost) {
+  if (cfg_.check_invariants && cost != Psn::kDownLinkCost) {
+    ARPA_CHECK(std::isfinite(cost) && cost > 0.0)
+        << "link " << link << " reported non-positive cost " << cost;
+    if (hnspf_invariants_) {
+      const net::Link& l = topo_->link(link);
+      const core::LineTypeParams& params = cfg_.line_params.for_type(l.type);
+      analysis::check_cost_in_bounds(cost, params.min_cost(l.prop_delay),
+                                     params.max_cost);
+      // Between two reports the cost may drift below the significance
+      // threshold for several periods before one limited move trips it, so
+      // the report-to-report bound is one movement limit plus threshold.
+      const double previous = last_reported_cost_[link];
+      if (previous != Psn::kDownLinkCost) {
+        const double threshold =
+            cfg_.significance_threshold_override >= 0.0
+                ? cfg_.significance_threshold_override
+                : params.change_threshold();
+        analysis::check_movement_limited(previous, cost, params, threshold);
+      }
+    }
+  }
+  last_reported_cost_[link] = cost;
   if (cfg_.track_reported_costs) {
     cost_traces_[link].emplace_back(sim_.now(), cost);
   }

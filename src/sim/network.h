@@ -81,6 +81,11 @@ struct NetworkConfig {
   /// metric's own value — "a little less than a half-hop" for HN-SPF, the
   /// decaying 64-unit scheme for D-SPF.
   double significance_threshold_override = -1.0;
+  /// Validate paper invariants on every reported cost (absolute bounds and
+  /// movement limits, src/analysis/invariants.h); a violation aborts via
+  /// ARPA_CHECK. A few comparisons per update origination — leave it on
+  /// unless profiling says otherwise.
+  bool check_invariants = true;
 };
 
 struct NetworkStats {
@@ -188,6 +193,13 @@ class Network {
   [[nodiscard]] routing::PathTrace current_route(net::NodeId src,
                                                  net::NodeId dst) const;
 
+  /// Cost most recently passed to on_cost_reported for each link (the
+  /// link's metric initial cost before any report). The invariant layer
+  /// checks each new report's movement against this baseline.
+  [[nodiscard]] double last_reported_cost(net::LinkId link) const {
+    return last_reported_cost_.at(link);
+  }
+
   // ---- callbacks from Psn (not for external use) ----
   void on_generated() { ++stats_.packets_generated; }
   void on_delivered(const Packet& pkt);
@@ -225,6 +237,8 @@ class Network {
   bool traffic_enabled_ = true;
   util::SimTime window_start_ = util::SimTime::zero();
   std::vector<stats::TimeSeries> link_busy_;
+  std::vector<double> last_reported_cost_;
+  bool hnspf_invariants_ = false;  ///< HN-SPF semantics known for all links
   std::vector<std::vector<std::pair<util::SimTime, double>>> cost_traces_;
   stats::TimeSeries drops_;
   std::uint64_t packet_id_ = 0;

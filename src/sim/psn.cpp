@@ -7,6 +7,7 @@
 
 #include "src/metrics/metric_factory.h"
 #include "src/sim/network.h"
+#include "src/util/check.h"
 
 namespace arpanet::sim {
 
@@ -251,6 +252,10 @@ void Psn::originate_update(const std::vector<double>& candidates) {
   update->reports.reserve(out_.size());
   for (std::size_t i = 0; i < out_.size(); ++i) {
     OutLink& o = out_[i];
+    // Every advertised cost must keep SPF well-defined (positive, finite);
+    // the metric transforms guarantee it, the flooding layer relies on it.
+    ARPA_DCHECK(candidates[i] > 0.0 && candidates[i] <= kDownLinkCost)
+        << "link " << o.id << " produced unusable cost " << candidates[i];
     // The node reports all its links in one update; values that didn't
     // trip the filter themselves become the new baseline anyway.
     o.filter.force_report(candidates[i]);

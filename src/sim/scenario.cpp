@@ -70,6 +70,11 @@ ScenarioConfig& ScenarioConfig::with_matrix(traffic::TrafficMatrix m) {
   return *this;
 }
 
+ScenarioConfig& ScenarioConfig::with_self_audit(bool enabled) {
+  self_audit = enabled;
+  return *this;
+}
+
 std::string ScenarioConfig::effective_label() const {
   if (!label.empty()) return label;
   if (network.metric_factory) return network.metric_factory->name();
@@ -125,9 +130,13 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
   network.run_for(cfg.warmup);
   network.reset_stats();
   network.run_for(cfg.window);
-  ScenarioResult result{
-      network.indicators(label.empty() ? cfg.effective_label() : label),
-      network.stats()};
+  ScenarioResult result;
+  result.indicators =
+      network.indicators(label.empty() ? cfg.effective_label() : label);
+  result.stats = network.stats();
+  if (cfg.self_audit) {
+    result.audit = analysis::audit_network(network);
+  }
   result.events_processed = network.simulator().events_processed();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

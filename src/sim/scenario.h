@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "src/analysis/invariants.h"
 #include "src/net/topology.h"
 #include "src/sim/network.h"
 #include "src/traffic/traffic_matrix.h"
@@ -50,6 +51,11 @@ struct ScenarioConfig {
   std::string label;
   /// Explicit traffic matrix; overrides shape/offered_load_bps when set.
   std::optional<traffic::TrafficMatrix> matrix;
+  /// Run analysis::audit_network when the measurement window ends: every
+  /// reported cost, cost trace and SPF tree is checked against the paper's
+  /// invariants, and any violation aborts. Costs one pass over the final
+  /// network state, so sweeps keep it on by default.
+  bool self_audit = true;
 
   // ---- fluent, validated setters ----
   // Each returns *this so calls chain; each throws std::invalid_argument on
@@ -67,6 +73,7 @@ struct ScenarioConfig {
   ScenarioConfig& with_label(std::string l);
   ScenarioConfig& with_network(NetworkConfig cfg);
   ScenarioConfig& with_matrix(traffic::TrafficMatrix m);
+  ScenarioConfig& with_self_audit(bool enabled);
 
   /// The label a run of this config reports: `label`, or the metric
   /// factory's name, or the metric kind's.
@@ -83,6 +90,8 @@ struct ScenarioResult {
   // ---- per-run telemetry ----
   double wall_seconds = 0.0;            ///< host time spent in the run
   std::uint64_t events_processed = 0;   ///< simulator events executed
+  /// What the end-of-run self-audit covered (all zeros when disabled).
+  analysis::AuditStats audit;
 
   [[nodiscard]] double events_per_sec() const {
     return wall_seconds > 0 ? static_cast<double>(events_processed) / wall_seconds

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/check.h"
+
 namespace arpanet::sim {
 
 void Simulator::schedule_at(util::SimTime at, EventQueue::Action action) {
@@ -20,6 +22,10 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   util::SimTime at;
   const EventQueue::Action action = queue_.pop(at);
+  // The virtual clock never runs backwards: schedule_at rejects past times,
+  // and the heap pops in (time, seq) order.
+  ARPA_DCHECK(at >= now_) << "event queue popped " << at.us()
+                          << "us behind the clock " << now_.us() << "us";
   now_ = at;
   ++processed_;
   action();

@@ -1,0 +1,23 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arpanet::util::check_internal {
+
+FailureMessage::FailureMessage(const char* file, int line,
+                               const char* condition) {
+  stream_ << file << ":" << line << ": ARPA_CHECK failed: " << condition
+          << " ";
+}
+
+FailureMessage::~FailureMessage() {
+  // Single unbuffered write so the message survives the abort even when
+  // stderr is redirected (gtest death tests match against this output).
+  const std::string message = stream_.str() + "\n";
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace arpanet::util::check_internal

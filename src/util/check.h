@@ -1,0 +1,75 @@
+// Fatal invariant checks: ARPA_CHECK and ARPA_DCHECK.
+//
+// The library's correctness story (docs/static_analysis.md) layers three
+// mechanisms: sanitizers catch memory/UB/race errors, clang-tidy catches
+// bug patterns statically, and these macros catch *semantic* violations —
+// the paper's own invariants (cost bounds, movement limits, event-time
+// monotonicity) enforced at runtime by src/analysis/invariants.h.
+//
+//   ARPA_CHECK(cost <= max) << "link " << id << " reported " << cost;
+//
+// On failure the streamed message is printed to stderr with file:line and
+// the stringified condition, then std::abort() — so a violation is loud,
+// immediate, and death-testable, never a silently corrupted CSV.
+//
+//   * ARPA_CHECK  — always on, in every build type. Use it where the check
+//     runs at most a handful of times per scenario (end-of-run audits,
+//     construction, per-update-origination validation).
+//   * ARPA_DCHECK — compiled out when NDEBUG is defined (Release /
+//     RelWithDebInfo), so hot paths (per-period metric transforms, the
+//     event loop) stay free in optimized builds. The condition and message
+//     still type-check in all builds but are never evaluated under NDEBUG.
+
+#pragma once
+
+#include <ostream>
+#include <sstream>
+
+namespace arpanet::util::check_internal {
+
+// Accumulates the failure message for one failed ARPA_CHECK. The destructor
+// — which runs at the end of the failing full-expression, after every `<<`
+// has appended — prints the assembled message and aborts.
+class FailureMessage {
+ public:
+  FailureMessage(const char* file, int line, const char* condition);
+  ~FailureMessage();  // prints to stderr and calls std::abort()
+
+  FailureMessage(const FailureMessage&) = delete;
+  FailureMessage& operator=(const FailureMessage&) = delete;
+
+  [[nodiscard]] std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Gives the failure arm of the ternary in ARPA_CHECK type void, whatever
+// message types were streamed. operator& binds looser than operator<<, so
+// the whole `<<` chain completes first.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace arpanet::util::check_internal
+
+/// Always-on invariant check. On failure, prints the condition plus any
+/// streamed message and aborts. Usable as a statement with optional
+/// `<< message` chain.
+#define ARPA_CHECK(condition)                                       \
+  __builtin_expect(static_cast<bool>(condition), 1)                 \
+      ? (void)0                                                     \
+      : ::arpanet::util::check_internal::Voidify{} &                \
+            ::arpanet::util::check_internal::FailureMessage(        \
+                __FILE__, __LINE__, #condition)                     \
+                .stream()
+
+/// Debug-only invariant check: identical to ARPA_CHECK unless NDEBUG is
+/// defined, in which case the condition and message are type-checked but
+/// never evaluated (zero cost in release hot paths).
+#ifdef NDEBUG
+#define ARPA_DCHECK(condition) \
+  while (false) ARPA_CHECK(condition)
+#else
+#define ARPA_DCHECK(condition) ARPA_CHECK(condition)
+#endif

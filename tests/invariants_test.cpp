@@ -1,0 +1,185 @@
+// The invariant layer (src/analysis/invariants.h, src/util/check.h):
+// positive coverage that valid state passes and every scenario run
+// self-audits, plus death tests proving ARPA_CHECK actually kills the
+// process on each class of paper-invariant violation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analysis/invariants.h"
+#include "src/core/hn_metric.h"
+#include "src/core/line_params.h"
+#include "src/net/builders/builders.h"
+#include "src/routing/spf.h"
+#include "src/sim/scenario.h"
+#include "src/util/check.h"
+
+namespace {
+
+using arpanet::core::HnMetric;
+using arpanet::core::LineTypeParams;
+using arpanet::util::SimTime;
+namespace analysis = arpanet::analysis;
+namespace builders = arpanet::net::builders;
+
+HnMetric terrestrial56_metric() {
+  return HnMetric{LineTypeParams{}, arpanet::util::DataRate::kbps(56),
+                  SimTime::from_ms(10)};
+}
+
+TEST(CheckMacroTest, PassingChecksAreSilent) {
+  ARPA_CHECK(1 + 1 == 2) << "never evaluated";
+  ARPA_DCHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(CheckMacroTest, FailureAbortsWithFileAndMessage) {
+  EXPECT_DEATH(ARPA_CHECK(false) << "metric " << 42 << " out of range",
+               "ARPA_CHECK failed: false.*metric 42 out of range");
+}
+
+TEST(CheckMacroTest, DcheckCompiledOutUnderNdebug) {
+  bool evaluated = false;
+  const auto touch = [&evaluated] {
+    evaluated = true;
+    return true;
+  };
+#ifdef NDEBUG
+  ARPA_DCHECK(touch());
+  EXPECT_FALSE(evaluated) << "NDEBUG ARPA_DCHECK must not evaluate";
+#else
+  ARPA_DCHECK(touch());
+  EXPECT_TRUE(evaluated);
+#endif
+}
+
+TEST(CostBoundsTest, InRangeCostsPass) {
+  analysis::check_cost_in_bounds(30.0, 30.0, 90.0);
+  analysis::check_cost_in_bounds(90.0, 30.0, 90.0);
+  SUCCEED();
+}
+
+TEST(CostBoundsTest, DeathOnOutOfBoundsCost) {
+  EXPECT_DEATH(analysis::check_cost_in_bounds(90.5, 30.0, 90.0),
+               "above line-type maximum");
+  EXPECT_DEATH(analysis::check_cost_in_bounds(29.0, 30.0, 90.0),
+               "below line-type minimum");
+}
+
+TEST(CostBoundsTest, DeathOnMisClippedHnSpfCost) {
+  // A cost that escaped the Clip step of the figure 3 transform — e.g. a
+  // raw cost reported directly — lies above the line's maximum and must be
+  // fatal when it reaches the invariant layer.
+  const HnMetric metric = terrestrial56_metric();
+  const double mis_clipped = metric.max_cost() + metric.params().up_limit();
+  EXPECT_DEATH(analysis::check_cost_in_bounds(mis_clipped, metric.min_cost(),
+                                              metric.max_cost()),
+               "above line-type maximum");
+}
+
+TEST(MovementLimitTest, LimitedMovesPass) {
+  const LineTypeParams params;  // up_limit 16, down_limit 15
+  analysis::check_movement_limited(60.0, 60.0 + params.up_limit(), params);
+  analysis::check_movement_limited(60.0, 60.0 - params.down_limit(), params);
+  // Report-to-report checks widen by the significance threshold.
+  analysis::check_movement_limited(
+      60.0, 60.0 + params.up_limit() + params.change_threshold(), params,
+      params.change_threshold());
+  SUCCEED();
+}
+
+TEST(MovementLimitTest, DeathOnViolation) {
+  const LineTypeParams params;
+  EXPECT_DEATH(analysis::check_movement_limited(
+                   60.0, 60.0 + params.up_limit() + 0.5, params),
+               "above the per-update up limit");
+  EXPECT_DEATH(analysis::check_movement_limited(
+                   60.0, 60.0 - params.down_limit() - 0.5, params),
+               "below the per-update down limit");
+}
+
+TEST(FlatRegionTest, ArpanetDefaultsHaveThePaperShape) {
+  analysis::check_flat_region(terrestrial56_metric());
+  // Satellite propagation raises the minimum but must keep the shape.
+  analysis::check_flat_region(HnMetric{LineTypeParams{},
+                                       arpanet::util::DataRate::kbps(56),
+                                       SimTime::from_ms(130)});
+  SUCCEED();
+}
+
+TEST(MonotonicTimeTest, NonDecreasingSequencePasses) {
+  analysis::MonotonicTimeChecker checker;
+  checker.observe(SimTime::from_us(10));
+  checker.observe(SimTime::from_us(10));  // simultaneous events are legal
+  checker.observe(SimTime::from_us(11));
+  EXPECT_EQ(checker.observed(), 3);
+}
+
+TEST(MonotonicTimeTest, DeathOnBackwardsTimestamp) {
+  analysis::MonotonicTimeChecker checker{"event time"};
+  checker.observe(SimTime::from_us(10));
+  EXPECT_DEATH(checker.observe(SimTime::from_us(9)),
+               "event time went backwards");
+}
+
+TEST(SpfTreeCheckTest, ComputedTreesPass) {
+  const arpanet::net::Topology topo = builders::ring(5);
+  const std::vector<double> costs(topo.link_count(), 30.0);
+  const auto tree = arpanet::routing::Spf::compute(topo, 0, costs);
+  analysis::check_spf_tree(topo, tree, costs);
+  SUCCEED();
+}
+
+TEST(SpfTreeCheckTest, DeathOnCorruptedParent) {
+  const arpanet::net::Topology topo = builders::ring(5);
+  const std::vector<double> costs(topo.link_count(), 30.0);
+  auto tree = arpanet::routing::Spf::compute(topo, 0, costs);
+  // Point node 2's parent at a link that does not end at node 2.
+  for (const arpanet::net::Link& l : topo.links()) {
+    if (l.to != 2) {
+      tree.parent_link[2] = l.id;
+      break;
+    }
+  }
+  EXPECT_DEATH(analysis::check_spf_tree(topo, tree, costs), "ends at node");
+}
+
+TEST(ScenarioAuditTest, EveryScenarioRunSelfAudits) {
+  const arpanet::net::Topology topo = builders::ring(5);
+  const auto cfg = arpanet::sim::ScenarioConfig{}
+                       .with_load_bps(50e3)
+                       .with_warmup(SimTime::from_sec(30))
+                       .with_window(SimTime::from_sec(60));
+  const auto result = arpanet::sim::run_scenario(topo, cfg, "audit");
+  EXPECT_EQ(result.audit.costs_checked,
+            static_cast<long>(topo.link_count()));
+  EXPECT_EQ(result.audit.maps_checked, static_cast<long>(topo.link_count()));
+  EXPECT_EQ(result.audit.trees_checked,
+            static_cast<long>(topo.node_count()));
+}
+
+TEST(ScenarioAuditTest, TracesAreMovementCheckedWhenTracked) {
+  const arpanet::net::Topology topo = builders::ring(5);
+  auto cfg = arpanet::sim::ScenarioConfig{}
+                 .with_load_bps(150e3)
+                 .with_warmup(SimTime::from_sec(30))
+                 .with_window(SimTime::from_sec(120));
+  cfg.network.track_reported_costs = true;
+  const auto result = arpanet::sim::run_scenario(topo, cfg, "audit");
+  EXPECT_GT(result.audit.trace_steps_checked, 0);
+}
+
+TEST(ScenarioAuditTest, AuditCanBeDisabled) {
+  const arpanet::net::Topology topo = builders::ring(4);
+  const auto cfg = arpanet::sim::ScenarioConfig{}
+                       .with_load_bps(20e3)
+                       .with_warmup(SimTime::from_sec(10))
+                       .with_window(SimTime::from_sec(20))
+                       .with_self_audit(false);
+  const auto result = arpanet::sim::run_scenario(topo, cfg, "no-audit");
+  EXPECT_EQ(result.audit.costs_checked, 0);
+  EXPECT_EQ(result.audit.trees_checked, 0);
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Format gate: fails when any tracked C++ source drifts from .clang-format.
+#
+# Usage:
+#   tools/format_check.sh          # check only (CI mode)
+#   tools/format_check.sh --fix    # rewrite files in place
+#
+# Environment:
+#   CLANG_FORMAT   clang-format binary to use (default: clang-format)
+#
+# Exit status: 0 when formatting is clean (or the tool is unavailable — the
+# gate is advisory on machines without clang-format; CI installs it), 1 on
+# drift in check mode.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+clang_format="${CLANG_FORMAT:-clang-format}"
+mode="${1:-"--check"}"
+
+if ! command -v "${clang_format}" >/dev/null 2>&1; then
+  echo "format_check.sh: ${clang_format} not found; skipping the format gate" \
+       "(install clang-format to enforce it locally)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format_check.sh: no tracked C++ sources found" >&2
+  exit 2
+fi
+
+case "${mode}" in
+  --fix)
+    "${clang_format}" -i "${files[@]}"
+    echo "format_check.sh: reformatted ${#files[@]} files"
+    ;;
+  --check)
+    # --dry-run --Werror makes clang-format exit nonzero on any diff.
+    "${clang_format}" --dry-run --Werror "${files[@]}"
+    echo "format_check.sh: ${#files[@]} files clean"
+    ;;
+  *)
+    echo "usage: tools/format_check.sh [--fix|--check]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# clang-tidy lint gate over the project's compile_commands.json.
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir]        # default: build
+#
+# Environment:
+#   CLANG_TIDY   clang-tidy binary to use (default: clang-tidy)
+#   TIDY_JOBS    parallel jobs (default: nproc)
+#
+# Exit status: 0 when the tree is clean (or the tool is unavailable — the
+# gate is advisory on machines without clang-tidy; CI installs it), 1 on
+# findings, 2 on usage errors. The check configuration lives in .clang-tidy
+# at the repository root (WarningsAsErrors: '*', so any finding fails).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+jobs="${TIDY_JOBS:-$(nproc)}"
+
+if ! command -v "${clang_tidy}" >/dev/null 2>&1; then
+  echo "run_tidy.sh: ${clang_tidy} not found; skipping the lint gate" \
+       "(install clang-tidy to enforce it locally)" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_tidy.sh: ${db} not found." >&2
+  echo "Configure first: cmake -B ${build_dir} -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# Project translation units only: skip anything compiled from outside the
+# repository (e.g. the instrumented googletest sources a sanitizer build
+# pulls in from /usr/src).
+repo_root="$(pwd)"
+mapfile -t files < <(jq -r '.[].file' "${db}" | sort -u |
+                     grep -F "${repo_root}/" || true)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_tidy.sh: no project translation units in ${db}" >&2
+  exit 2
+fi
+
+echo "run_tidy.sh: linting ${#files[@]} translation units with ${jobs} jobs"
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 1 -P "${jobs}" "${clang_tidy}" -p "${build_dir}" --quiet
+echo "run_tidy.sh: clean"
