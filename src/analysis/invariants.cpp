@@ -3,7 +3,6 @@
 #include <cmath>
 #include <limits>
 
-#include "src/metrics/dspf_metric.h"
 #include "src/metrics/metric_factory.h"
 #include "src/sim/network.h"
 #include "src/sim/psn.h"
@@ -154,29 +153,22 @@ AuditStats audit_network(const sim::Network& net) {
   const sim::NetworkConfig& cfg = net.config();
   AuditStats stats;
 
-  // Bounds and flat regions apply only when we know the semantics of the
-  // metric producing the costs: the built-in HN-SPF kind with the
-  // network's own line-parameter table.
+  // Absolute bounds come from whatever range the factory promises per link
+  // (built-in kinds and custom factories alike, via MetricFactory::bounds);
+  // flat regions and movement limits additionally need HN-SPF semantics.
   const auto* kind_factory =
       dynamic_cast<const metrics::KindMetricFactory*>(&net.metric_factory());
   const bool hnspf =
       kind_factory && kind_factory->kind() == metrics::MetricKind::kHnSpf;
-  const bool dspf =
-      kind_factory && kind_factory->kind() == metrics::MetricKind::kDspf;
 
   for (const net::Link& link : topo.links()) {
     const core::LineTypeParams& params = cfg.line_params.for_type(link.type);
-    const double min_cost = params.min_cost(link.prop_delay);
 
     const double reported = net.psn(link.from).reported_cost(link.id);
     if (!is_down_cost(reported)) {
-      if (hnspf) {
-        check_cost_in_bounds(reported, min_cost, params.max_cost);
-      } else if (dspf) {
-        check_cost_in_bounds(
-            reported,
-            metrics::DspfMetric{link.rate, link.prop_delay}.bias(),
-            metrics::DspfMetric::kMaxUnits, "D-SPF reported cost");
+      if (const auto bounds =
+              net.metric_factory().bounds(link, cfg.line_params)) {
+        check_cost_in_bounds(reported, bounds->min_cost, bounds->max_cost);
       } else {
         ARPA_CHECK(std::isfinite(reported) && reported > 0.0)
             << "link " << link.id << " reported non-positive cost "

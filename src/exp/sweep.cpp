@@ -203,6 +203,12 @@ analysis::AuditStats SweepResult::total_audit() const {
   return total;
 }
 
+obs::Counters SweepResult::total_counters() const {
+  obs::Counters total;
+  for (const SweepRun& r : runs) total += r.result.counters;
+  return total;
+}
+
 double SweepResult::speedup() const {
   return elapsed_seconds > 0 ? total_run_seconds() / elapsed_seconds : 0.0;
 }

@@ -112,6 +112,9 @@ class SweepResult {
   /// Aggregated self-audit coverage across all cells (every cell ran the
   /// end-of-run invariant audit unless the base config disabled it).
   [[nodiscard]] analysis::AuditStats total_audit() const;
+  /// Observability counters merged across all cells (sums, except peak
+  /// depths which take the max — see obs::Counters::catalog()).
+  [[nodiscard]] obs::Counters total_counters() const;
   /// total_run_seconds / elapsed_seconds: the achieved parallelism.
   [[nodiscard]] double speedup() const;
 

@@ -1,12 +1,13 @@
 #include "src/exp/sweep_runner.h"
 
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/obs/stopwatch.h"
 
 namespace arpanet::exp {
 
@@ -30,7 +31,7 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_{std::move(opts)} {}
 SweepResult SweepRunner::run(const SweepSpec& spec,
                              const NamedTopology& default_topo) const {
   const std::vector<SweepCell> cells = expand_cells(spec, default_topo);
-  const auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch stopwatch;
 
   SweepResult result;
   result.runs.resize(cells.size());
@@ -82,9 +83,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
 
   if (first_error) std::rethrow_exception(first_error);
 
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = stopwatch.seconds();
   return result;
 }
 

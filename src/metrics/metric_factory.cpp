@@ -23,11 +23,37 @@ std::unique_ptr<LinkMetric> make_metric(MetricKind kind, const net::Link& link,
   throw std::invalid_argument("unknown MetricKind");
 }
 
-FunctionMetricFactory::FunctionMetricFactory(std::string name, Fn fn)
-    : name_{std::move(name)}, fn_{std::move(fn)} {
+std::optional<CostBounds> KindMetricFactory::bounds(
+    const net::Link& link, const core::LineParamsTable& params) const {
+  switch (kind_) {
+    case MetricKind::kMinHop: {
+      const double hop = MinHopMetric{}.initial_cost();
+      return CostBounds{hop, hop};
+    }
+    case MetricKind::kDspf:
+      return CostBounds{DspfMetric{link.rate, link.prop_delay}.bias(),
+                        DspfMetric::kMaxUnits};
+    case MetricKind::kHnSpf: {
+      const core::LineTypeParams& p = params.for_type(link.type);
+      return CostBounds{p.min_cost(link.prop_delay), p.max_cost};
+    }
+  }
+  return std::nullopt;
+}
+
+FunctionMetricFactory::FunctionMetricFactory(std::string name, Fn fn,
+                                             BoundsFn bounds_fn)
+    : name_{std::move(name)},
+      fn_{std::move(fn)},
+      bounds_fn_{std::move(bounds_fn)} {
   if (!fn_) {
     throw std::invalid_argument("FunctionMetricFactory: null callable");
   }
+}
+
+std::optional<CostBounds> FunctionMetricFactory::bounds(
+    const net::Link& link, const core::LineParamsTable& params) const {
+  return bounds_fn_ ? bounds_fn_(link, params) : std::nullopt;
 }
 
 std::unique_ptr<LinkMetric> FunctionMetricFactory::create(

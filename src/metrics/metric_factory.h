@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/core/line_params.h"
@@ -23,6 +24,16 @@ namespace arpanet::metrics {
 /// Creates the metric instance for one simplex link.
 [[nodiscard]] std::unique_ptr<LinkMetric> make_metric(
     MetricKind kind, const net::Link& link, const core::LineParamsTable& params);
+
+/// The absolute cost range a factory's metrics promise for one link. When a
+/// factory declares bounds, the invariant layer (sim::Network per report,
+/// analysis::audit_network at end of run) enforces them on every cost the
+/// metric reports — the same validation the built-in metrics get, without
+/// the layer having to recognize the factory type.
+struct CostBounds {
+  double min_cost = 0.0;
+  double max_cost = 0.0;
+};
 
 /// Abstract constructor of per-link metrics. Implementations must be
 /// stateless or internally synchronized: one factory instance may be shared
@@ -38,6 +49,17 @@ class MetricFactory {
 
   /// Human-readable name, used as the default result label.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The cost range metrics created for `link` are promised to stay inside,
+  /// or nullopt when the factory makes no such promise (costs are then only
+  /// checked to be positive and finite). Overriding this opts a custom
+  /// factory into the full bounds validation.
+  [[nodiscard]] virtual std::optional<CostBounds> bounds(
+      const net::Link& link, const core::LineParamsTable& params) const {
+    (void)link;
+    (void)params;
+    return std::nullopt;
+  }
 };
 
 /// The closed-set factory: wraps make_metric over a MetricKind.
@@ -51,6 +73,11 @@ class KindMetricFactory final : public MetricFactory {
     return make_metric(kind_, link, params);
   }
   [[nodiscard]] std::string name() const override { return to_string(kind_); }
+  /// The built-in metrics' documented ranges: HN-SPF's propagation-adjusted
+  /// [min_cost, max_cost], D-SPF's [bias, 254 units], min-hop's constant.
+  [[nodiscard]] std::optional<CostBounds> bounds(
+      const net::Link& link,
+      const core::LineParamsTable& params) const override;
   [[nodiscard]] MetricKind kind() const { return kind_; }
 
  private:
@@ -59,21 +86,28 @@ class KindMetricFactory final : public MetricFactory {
 
 /// Adapter for ad-hoc metrics (ablation benches, tests): wraps a callable
 /// `(const net::Link&, const core::LineParamsTable&) -> unique_ptr<LinkMetric>`.
-/// The callable must be safe to invoke from multiple threads.
+/// Both callables must be safe to invoke from multiple threads.
 class FunctionMetricFactory final : public MetricFactory {
  public:
   using Fn = std::function<std::unique_ptr<LinkMetric>(
       const net::Link&, const core::LineParamsTable&)>;
+  using BoundsFn = std::function<std::optional<CostBounds>(
+      const net::Link&, const core::LineParamsTable&)>;
 
-  FunctionMetricFactory(std::string name, Fn fn);
+  /// `bounds_fn` may be null: the factory then declares no bounds.
+  FunctionMetricFactory(std::string name, Fn fn, BoundsFn bounds_fn = nullptr);
 
   [[nodiscard]] std::unique_ptr<LinkMetric> create(
       const net::Link& link, const core::LineParamsTable& params) const override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::optional<CostBounds> bounds(
+      const net::Link& link,
+      const core::LineParamsTable& params) const override;
 
  private:
   std::string name_;
   Fn fn_;
+  BoundsFn bounds_fn_;
 };
 
 }  // namespace arpanet::metrics

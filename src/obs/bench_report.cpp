@@ -1,0 +1,197 @@
+#include "src/obs/bench_report.h"
+
+#include <ostream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/exp/sweep.h"
+#include "src/exp/sweep_runner.h"
+#include "src/net/builders/builders.h"
+#include "src/obs/json_export.h"
+#include "src/obs/stopwatch.h"
+
+namespace arpanet::obs {
+
+namespace {
+
+BenchScenario make_scenario(std::string name, net::Topology topo,
+                            double load_bps, double warmup_sec,
+                            double window_sec) {
+  return BenchScenario{
+      .name = std::move(name),
+      .topo = std::move(topo),
+      .offered_load_bps = load_bps,
+      .warmup = util::SimTime::from_sec(warmup_sec),
+      .window = util::SimTime::from_sec(window_sec)};
+}
+
+BenchCell make_cell(const BenchScenario& scenario, const exp::SweepRun& run) {
+  BenchCell cell;
+  cell.topology = scenario.name;
+  cell.metric = to_string(run.cell.metric);
+  cell.nodes = scenario.topo.node_count();
+  cell.links = scenario.topo.link_count();
+  cell.offered_load_bps = scenario.offered_load_bps;
+  cell.warmup_sec = scenario.warmup.sec();
+  cell.window_sec = scenario.window.sec();
+  cell.counters = run.result.counters;
+  cell.packets_generated = run.result.stats.packets_generated;
+  cell.packets_delivered = run.result.stats.packets_delivered;
+  cell.delay_p50_ms = run.result.indicators.delay_p50_ms;
+  cell.delay_p95_ms = run.result.indicators.delay_p95_ms;
+  cell.delay_p99_ms = run.result.indicators.delay_p99_ms;
+  cell.audit_costs_checked = run.result.audit.costs_checked;
+  cell.audit_trees_checked = run.result.audit.trees_checked;
+  cell.events = run.result.events_processed;
+  cell.wall_sec = run.result.wall_seconds;
+  return cell;
+}
+
+}  // namespace
+
+std::vector<BenchScenario> bench_battery(const std::string& name) {
+  std::vector<BenchScenario> scenarios;
+  if (name == "smoke") {
+    // Small and fast, but loaded well past the 56 kb/s flat threshold so
+    // HN-SPF actually floods updates and the SPF counters move.
+    scenarios.push_back(
+        make_scenario("ring6", net::builders::ring(6), 260e3, 20.0, 40.0));
+    scenarios.push_back(
+        make_scenario("grid3x3", net::builders::grid(3, 3), 550e3, 20.0, 40.0));
+    return scenarios;
+  }
+  if (name == "battery") {
+    scenarios.push_back(make_scenario("arpanet87",
+                                      net::builders::arpanet87().topo, 600e3,
+                                      60.0, 120.0));
+    scenarios.push_back(
+        make_scenario("grid5x5", net::builders::grid(5, 5), 900e3, 60.0, 120.0));
+    scenarios.push_back(make_scenario("milnet_like",
+                                      net::builders::milnet_like(), 700e3,
+                                      60.0, 120.0));
+    return scenarios;
+  }
+  throw std::invalid_argument("unknown bench battery: " + name);
+}
+
+BenchReport run_bench_battery(const std::string& battery, int threads) {
+  const std::vector<BenchScenario> scenarios = bench_battery(battery);
+  BenchReport report;
+  report.battery = battery;
+  const Stopwatch stopwatch;
+  for (const BenchScenario& scenario : scenarios) {
+    sim::ScenarioConfig base;
+    base.offered_load_bps = scenario.offered_load_bps;
+    base.warmup = scenario.warmup;
+    base.window = scenario.window;
+    exp::SweepSpec spec;
+    spec.base = base;
+    spec.metrics = {metrics::MetricKind::kHnSpf, metrics::MetricKind::kDspf};
+    const exp::NamedTopology named{scenario.name, scenario.topo};
+    exp::SweepOptions opts;
+    opts.threads = threads;
+    const exp::SweepRunner runner{std::move(opts)};
+    const exp::SweepResult sweep = runner.run(spec, named);
+    for (const exp::SweepRun& run : sweep.runs) {
+      report.cells.push_back(make_cell(scenario, run));
+    }
+  }
+  report.elapsed_sec = stopwatch.seconds();
+  return report;
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  JsonWriter w{os};
+  w.begin_object();
+  w.member("schema", kBenchSchemaName);
+  w.member("schema_version", static_cast<std::int64_t>(kBenchSchemaVersion));
+  w.member("battery", battery);
+  w.member("elapsed_sec", elapsed_sec);
+  w.key("scenarios").begin_array();
+  for (const BenchCell& c : cells) {
+    w.begin_object();
+    w.member("topology", c.topology);
+    w.member("metric", c.metric);
+    w.member("nodes", static_cast<std::uint64_t>(c.nodes));
+    w.member("links", static_cast<std::uint64_t>(c.links));
+    w.member("offered_kbps", c.offered_load_bps / 1e3);
+    w.member("warmup_sec", c.warmup_sec);
+    w.member("window_sec", c.window_sec);
+    w.key("spf").begin_object();
+    w.member("full", c.counters.spf_full);
+    w.member("incremental", c.counters.spf_incremental);
+    w.member("skipped", c.counters.spf_skipped);
+    w.member("nodes_touched", c.counters.spf_nodes_touched);
+    w.end_object();
+    w.key("routing").begin_object();
+    w.member("updates_originated", c.counters.updates_originated);
+    w.member("update_packets_sent", c.counters.update_packets_sent);
+    w.end_object();
+    w.key("packets").begin_object();
+    w.member("generated", static_cast<std::int64_t>(c.packets_generated));
+    w.member("delivered", static_cast<std::int64_t>(c.packets_delivered));
+    w.member("forwarded", c.counters.packets_forwarded);
+    w.member("dropped", c.counters.packets_dropped);
+    w.end_object();
+    w.member("event_queue_peak_depth", c.counters.event_queue_peak_depth);
+    w.key("invariants").begin_object();
+    w.member("period_checks", c.counters.invariant_period_checks);
+    w.member("audit_costs_checked",
+             static_cast<std::int64_t>(c.audit_costs_checked));
+    w.member("audit_trees_checked",
+             static_cast<std::int64_t>(c.audit_trees_checked));
+    w.end_object();
+    w.key("delay_ms").begin_object();
+    w.member("p50", c.delay_p50_ms);
+    w.member("p95", c.delay_p95_ms);
+    w.member("p99", c.delay_p99_ms);
+    w.end_object();
+    w.member("events", c.events);
+    w.member("wall_sec", c.wall_sec);
+    w.member("events_per_sec", c.events_per_sec());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string BenchReport::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::vector<std::string> BenchReport::validate() const {
+  std::vector<std::string> errors;
+  if (cells.empty()) {
+    errors.push_back("report has no cells");
+    return errors;
+  }
+  for (const BenchCell& c : cells) {
+    const std::string where = c.topology + "/" + c.metric + ": ";
+    const auto require = [&](bool ok, const std::string& what) {
+      if (!ok) errors.push_back(where + what);
+    };
+    require(c.counters.spf_full > 0, "spf.full is zero");
+    require(c.counters.spf_incremental > 0, "spf.incremental is zero");
+    require(c.counters.spf_skipped > 0, "spf.skipped is zero");
+    require(c.counters.updates_originated > 0, "no updates originated");
+    require(c.packets_delivered > 0, "no packets delivered");
+    require(c.events > 0, "no events processed");
+    require(c.events_per_sec() > 0.0, "events_per_sec is zero");
+  }
+  return errors;
+}
+
+std::string mask_wall_time_fields(const std::string& json) {
+  // The writer's formatting is fixed ("key": value, one member per line),
+  // so the value extent is everything up to the next comma or newline.
+  static const std::regex kWallTime{
+      R"re(("(?:wall_sec|events_per_sec|elapsed_sec)": )[^,\n]*)re"};
+  return std::regex_replace(json, kWallTime, "$010");
+}
+
+}  // namespace arpanet::obs

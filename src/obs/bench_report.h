@@ -1,0 +1,99 @@
+// The benchmark battery behind tools/bench_report and the bench-smoke CI
+// job: a fixed set of scenarios (reference topologies under HN-SPF and
+// D-SPF) run through the sweep engine, with every cell's observability
+// counters, delay percentiles and event-rate telemetry exported as one
+// schema-versioned JSON document (BENCH_metrics.json).
+//
+// Everything except the wall-time fields is deterministic: cells are
+// emitted in sweep enumeration order and carry no worker/thread
+// information, so the same battery produces byte-identical JSON at any
+// thread count once mask_wall_time_fields() blanks the timings. That is
+// the property the golden-file test (tests/bench_report_test.cpp) pins.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/obs/counters.h"
+#include "src/util/units.h"
+
+namespace arpanet::obs {
+
+/// JSON document identity; consumers reject documents whose schema pair
+/// they do not understand. Bump the version on any field change.
+inline constexpr const char* kBenchSchemaName = "arpanet-bench-metrics";
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One benchmark scenario: a topology driven at a fixed offered load. Each
+/// scenario runs once per metric in the battery's metric axis.
+struct BenchScenario {
+  std::string name;  ///< topology label in the report
+  net::Topology topo;
+  double offered_load_bps = 0.0;
+  util::SimTime warmup = util::SimTime::zero();
+  util::SimTime window = util::SimTime::zero();
+};
+
+/// One executed (scenario, metric) cell with its full telemetry.
+struct BenchCell {
+  std::string topology;
+  std::string metric;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  double offered_load_bps = 0.0;
+  double warmup_sec = 0.0;
+  double window_sec = 0.0;
+
+  Counters counters;
+  long packets_generated = 0;  ///< measurement window only (NetworkStats)
+  long packets_delivered = 0;
+  double delay_p50_ms = 0.0;
+  double delay_p95_ms = 0.0;
+  double delay_p99_ms = 0.0;
+  long audit_costs_checked = 0;
+  long audit_trees_checked = 0;
+
+  std::uint64_t events = 0;   ///< simulator events across warm-up + window
+  double wall_sec = 0.0;      ///< host time (masked in golden comparisons)
+  [[nodiscard]] double events_per_sec() const {
+    return wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0;
+  }
+};
+
+/// The whole battery's results, in deterministic cell order.
+struct BenchReport {
+  std::string battery;
+  std::vector<BenchCell> cells;
+  double elapsed_sec = 0.0;  ///< wall clock of the whole battery
+
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+  /// Schema self-check: every cell must show real simulation work (nonzero
+  /// full/incremental/skipped SPF counts, events, delivered packets).
+  /// Returns human-readable violations; empty means the report is valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// The named battery's scenario list. "smoke" is the small deterministic
+/// set the golden test pins (ring + grid, short windows); "battery" is the
+/// full set (arpanet87, a larger grid, the MILNET-like network). Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::vector<BenchScenario> bench_battery(
+    const std::string& name);
+
+/// Runs every scenario of `battery` under HN-SPF and D-SPF on `threads`
+/// sweep workers (0 = hardware concurrency) and collects the report.
+[[nodiscard]] BenchReport run_bench_battery(const std::string& battery,
+                                            int threads = 0);
+
+/// Replaces the values of wall-time-derived fields (wall_sec,
+/// events_per_sec, elapsed_sec) with 0 so two reports of the same battery
+/// can be compared byte-for-byte.
+[[nodiscard]] std::string mask_wall_time_fields(const std::string& json);
+
+}  // namespace arpanet::obs

@@ -1,0 +1,146 @@
+#include "src/obs/json_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/util/check.h"
+
+namespace arpanet::obs {
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_{os}, indent_{indent} {}
+
+JsonWriter::~JsonWriter() {
+  // A mismatched begin/end is a programming error in the exporter, caught
+  // where the document would otherwise be silently truncated.
+  ARPA_CHECK(stack_.empty()) << "JsonWriter destroyed with " << stack_.size()
+                             << " unclosed scope(s)";
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::lead_in() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already wrote the separator
+  }
+  if (stack_.empty()) return;  // the document's root value
+  Scope& s = stack_.back();
+  ARPA_CHECK(s.array) << "JsonWriter: value inside an object requires key()";
+  if (!s.empty) os_ << ',';
+  s.empty = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  ARPA_CHECK(!stack_.empty() && !stack_.back().array)
+      << "JsonWriter: key() outside an object";
+  ARPA_CHECK(!key_pending_) << "JsonWriter: key() twice without a value";
+  Scope& s = stack_.back();
+  if (!s.empty) os_ << ',';
+  s.empty = false;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  lead_in();
+  os_ << '{';
+  stack_.push_back(Scope{.array = false, .empty = true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ARPA_CHECK(!stack_.empty() && !stack_.back().array && !key_pending_)
+      << "JsonWriter: unbalanced end_object()";
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  lead_in();
+  os_ << '[';
+  stack_.push_back(Scope{.array = true, .empty = true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ARPA_CHECK(!stack_.empty() && stack_.back().array)
+      << "JsonWriter: unbalanced end_array()";
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  lead_in();
+  os_ << json_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  lead_in();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  lead_in();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  lead_in();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  lead_in();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace arpanet::obs

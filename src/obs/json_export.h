@@ -1,0 +1,83 @@
+// Deterministic JSON emission, no external dependencies.
+//
+// JsonWriter is a streaming writer with explicit object/array scopes and
+// automatic comma/indent handling. Output is byte-deterministic for the
+// same call sequence: doubles use the fixed "%.10g" format (locale- and
+// stream-state-independent, same rule as the sweep CSV), integers print
+// exactly, and strings are escaped per RFC 8259. That determinism is what
+// lets tests/golden/bench_smoke.json be compared byte-for-byte.
+//
+// Usage:
+//   JsonWriter w{os};
+//   w.begin_object();
+//   w.member("schema", "arpanet-bench-metrics");
+//   w.key("scenarios").begin_array();
+//   ...
+//   w.end_array();
+//   w.end_object();   // writer checks scopes balance via ARPA_CHECK
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arpanet::obs {
+
+/// Fixed-format decimal for a double ("%.10g"); non-finite values render as
+/// JSON null so the document always parses.
+[[nodiscard]] std::string json_double(double v);
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member; must be inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(bool v);
+
+  /// key(k).value(v) in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  struct Scope {
+    bool array = false;
+    bool empty = true;
+  };
+
+  /// Comma/newline/indent bookkeeping before a value or key is emitted.
+  void lead_in();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace arpanet::obs

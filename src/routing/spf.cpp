@@ -116,12 +116,14 @@ IncrementalSpf::IncrementalSpf(const net::Topology& topo, net::NodeId root,
     : topo_{&topo}, costs_{std::move(costs)} {
   check_costs(topo, costs_);
   tree_ = Spf::compute(topo, root, costs_);
+  ++full_;
 }
 
 void IncrementalSpf::reset(LinkCosts costs) {
   check_costs(*topo_, costs);
   costs_ = std::move(costs);
   tree_ = Spf::compute(*topo_, tree_.root, costs_);
+  ++full_;
 }
 
 void IncrementalSpf::set_cost(net::LinkId link, double new_cost) {

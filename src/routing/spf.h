@@ -83,6 +83,8 @@ class IncrementalSpf {
   /// Replaces all costs (e.g. first full update after startup).
   void reset(LinkCosts costs);
 
+  /// Full Dijkstra recomputations (construction plus every reset()).
+  [[nodiscard]] long full_recomputes() const { return full_; }
   /// Updates that required no distance work at all (cost increase on a
   /// non-tree link — the paper's example).
   [[nodiscard]] long skipped_updates() const { return skipped_; }
@@ -99,6 +101,7 @@ class IncrementalSpf {
   const net::Topology* topo_;
   LinkCosts costs_;
   SpfTree tree_;
+  long full_ = 0;
   long skipped_ = 0;
   long incremental_ = 0;
   long nodes_touched_ = 0;

@@ -9,6 +9,7 @@ namespace arpanet::sim {
 
 void EventQueue::schedule(util::SimTime at, Action action) {
   heap_.push(Entry{at, next_seq_++, std::make_shared<Action>(std::move(action))});
+  if (heap_.size() > peak_size_) peak_size_ = heap_.size();
 }
 
 EventQueue::Action EventQueue::pop(util::SimTime& at) {

@@ -24,6 +24,8 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// High-water mark of size() over the queue's lifetime (telemetry).
+  [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
   [[nodiscard]] util::SimTime next_time() const { return heap_.top().at; }
 
   /// Pops and returns the earliest event. Precondition: !empty().
@@ -43,6 +45,7 @@ class EventQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace arpanet::sim

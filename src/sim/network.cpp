@@ -29,12 +29,16 @@ Network::Network(const net::Topology& topo, NetworkConfig cfg)
   for (const net::Link& l : topo.links()) {
     initial[l.id] = factory_->create(l, cfg.line_params)->initial_cost();
   }
-  // The per-report invariant checks know the cost semantics only for the
-  // built-in HN-SPF kind; custom factories are checked for positivity alone.
+  // Movement-limit checks need HN-SPF semantics; absolute bounds come from
+  // whatever range the factory promises (custom factories included).
   const auto* kind_factory =
       dynamic_cast<const metrics::KindMetricFactory*>(factory_.get());
   hnspf_invariants_ =
       kind_factory && kind_factory->kind() == metrics::MetricKind::kHnSpf;
+  link_bounds_.reserve(topo.link_count());
+  for (const net::Link& l : topo.links()) {
+    link_bounds_.push_back(factory_->bounds(l, cfg.line_params));
+  }
   last_reported_cost_ = initial;
   psns_.reserve(topo.node_count());
   for (net::NodeId n = 0; n < topo.node_count(); ++n) {
@@ -101,17 +105,20 @@ void Network::on_delivered(const Packet& pkt) {
 void Network::on_queue_drop(const Packet& pkt) {
   (void)pkt;
   ++stats_.packets_dropped_queue;
+  ++counters_.packets_dropped;
   drops_.add(sim_.now(), 1.0);
 }
 
 void Network::on_unreachable_drop(const Packet& pkt) {
   (void)pkt;
   ++stats_.packets_dropped_unreachable;
+  ++counters_.packets_dropped;
 }
 
 void Network::on_loop_drop(const Packet& pkt) {
   (void)pkt;
   ++stats_.packets_dropped_loop;
+  ++counters_.packets_dropped;
   drops_.add(sim_.now(), 1.0);
 }
 
@@ -123,27 +130,36 @@ void Network::on_cost_reported(net::LinkId link, double cost) {
   if (cfg_.check_invariants && cost != Psn::kDownLinkCost) {
     ARPA_CHECK(std::isfinite(cost) && cost > 0.0)
         << "link " << link << " reported non-positive cost " << cost;
-    if (hnspf_invariants_) {
-      const net::Link& l = topo_->link(link);
-      const core::LineTypeParams& params = cfg_.line_params.for_type(l.type);
-      analysis::check_cost_in_bounds(cost, params.min_cost(l.prop_delay),
-                                     params.max_cost);
-      // Between two reports the cost may drift below the significance
-      // threshold for several periods before one limited move trips it, so
-      // the report-to-report bound is one movement limit plus threshold.
-      const double previous = last_reported_cost_[link];
-      if (previous != Psn::kDownLinkCost) {
-        const double threshold =
-            cfg_.significance_threshold_override >= 0.0
-                ? cfg_.significance_threshold_override
-                : params.change_threshold();
-        analysis::check_movement_limited(previous, cost, params, threshold);
-      }
+    if (link_bounds_[link]) {
+      analysis::check_cost_in_bounds(cost, link_bounds_[link]->min_cost,
+                                     link_bounds_[link]->max_cost);
     }
+    // Movement limiting is enforced per measurement period (the granularity
+    // the paper states it at) in on_period_measured, not report-to-report.
   }
   last_reported_cost_[link] = cost;
   if (cfg_.track_reported_costs) {
     cost_traces_[link].emplace_back(sim_.now(), cost);
+  }
+  if (trace_sink_) trace_sink_->on_cost_reported(link, sim_.now(), cost);
+}
+
+void Network::on_period_measured(net::LinkId link, double previous,
+                                 double candidate, double busy_fraction) {
+  if (cfg_.check_invariants && hnspf_invariants_ &&
+      previous != Psn::kDownLinkCost && candidate != Psn::kDownLinkCost) {
+    const net::Link& l = topo_->link(link);
+    // The exact section 4.3 bound: consecutive periods' costs differ by at
+    // most the movement limit, with no threshold slack — HN-SPF limits the
+    // candidate against the previous period's value whether or not either
+    // was significant enough to flood.
+    analysis::check_movement_limited(previous, candidate,
+                                     cfg_.line_params.for_type(l.type),
+                                     /*extra_slack=*/0.0);
+    ++counters_.invariant_period_checks;
+  }
+  if (trace_sink_) {
+    trace_sink_->on_utilization(link, sim_.now(), busy_fraction);
   }
 }
 
@@ -189,6 +205,20 @@ void Network::set_node_up(net::NodeId node, bool up) {
   for (const net::LinkId lid : topo_->out_links(node)) {
     set_trunk_up(lid, up);
   }
+}
+
+obs::Counters Network::counters() const {
+  obs::Counters c = counters_;
+  for (const auto& psn : psns_) {
+    const routing::IncrementalSpf& spf = psn->spf();
+    c.spf_full += static_cast<std::uint64_t>(spf.full_recomputes());
+    c.spf_incremental += static_cast<std::uint64_t>(spf.incremental_updates());
+    c.spf_skipped += static_cast<std::uint64_t>(spf.skipped_updates());
+    c.spf_nodes_touched += static_cast<std::uint64_t>(spf.nodes_touched());
+  }
+  c.events_processed = sim_.events_processed();
+  c.event_queue_peak_depth = sim_.queue_peak_depth();
+  return c;
 }
 
 stats::NetworkIndicators Network::indicators(std::string label) const {

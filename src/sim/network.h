@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "src/metrics/link_metric.h"
 #include "src/metrics/metric_factory.h"
 #include "src/net/topology.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace_sink.h"
 #include "src/routing/routing_table.h"
 #include "src/sim/packet_trace.h"
 #include "src/sim/psn.h"
@@ -131,6 +134,11 @@ class Network {
   /// the run; recording costs one branch per event when detached.
   void attach_tracer(PacketTracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a per-link observability sink receiving every reported cost
+  /// and each link's per-period busy fraction (nullptr detaches). Same
+  /// lifetime/cost contract as attach_tracer.
+  void attach_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
   /// Psn-side tracing entry point.
   void trace(TraceEventKind kind, const Packet& pkt, net::NodeId node,
              net::LinkId link = net::kInvalidLink) {
@@ -149,6 +157,11 @@ class Network {
     return sim_.now() - window_start_;
   }
   [[nodiscard]] stats::NetworkIndicators indicators(std::string label) const;
+
+  /// Whole-run telemetry snapshot: live counters merged with per-PSN SPF
+  /// work and the event engine's totals. Unlike stats(), never reset by
+  /// reset_stats() — values cover the network's lifetime including warm-up.
+  [[nodiscard]] obs::Counters counters() const;
 
   [[nodiscard]] const net::Topology& topology() const { return *topo_; }
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
@@ -206,10 +219,25 @@ class Network {
   void on_queue_drop(const Packet& pkt);
   void on_unreachable_drop(const Packet& pkt);
   void on_loop_drop(const Packet& pkt);
-  void on_update_originated() { ++stats_.updates_originated; }
-  void on_update_packet_sent() { ++stats_.update_packets_sent; }
+  void on_update_originated() {
+    ++stats_.updates_originated;
+    ++counters_.updates_originated;
+  }
+  void on_update_packet_sent() {
+    ++stats_.update_packets_sent;
+    ++counters_.update_packets_sent;
+  }
+  void on_data_packet_sent() { ++counters_.packets_forwarded; }
   void on_transmission(net::LinkId link, util::SimTime busy);
   void on_cost_reported(net::LinkId link, double cost);
+  /// One measurement period closed on `link`: `previous` and `candidate`
+  /// are the metric's consecutive per-period costs (kDownLinkCost while the
+  /// link is down), `busy_fraction` the period's transmitter utilization.
+  /// Enforces the exact section 4.3 movement bound between consecutive
+  /// update periods (no significance-threshold widening — the metric
+  /// limits every period's move, reported or not) and feeds the trace sink.
+  void on_period_measured(net::LinkId link, double previous, double candidate,
+                          double busy_fraction);
   void deliver_to_peer(net::LinkId link, Packet pkt);
   [[nodiscard]] std::uint64_t next_packet_id() { return ++packet_id_; }
 
@@ -234,6 +262,11 @@ class Network {
   NetworkStats stats_;
   std::function<void(const Packet&)> delivery_hook_;
   PacketTracer* tracer_ = nullptr;
+  obs::TraceSink* trace_sink_ = nullptr;
+  /// Live counters; SPF and event-engine fields are merged in counters().
+  obs::Counters counters_;
+  /// Per-link cost bounds promised by the factory (nullopt = unbounded).
+  std::vector<std::optional<metrics::CostBounds>> link_bounds_;
   bool traffic_enabled_ = true;
   util::SimTime window_start_ = util::SimTime::zero();
   std::vector<stats::TimeSeries> link_busy_;

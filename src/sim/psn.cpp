@@ -210,7 +210,11 @@ void Psn::maybe_start_tx(OutLink& out) {
         o.meas.record_packet(queue_delay, tx);
         net_.on_transmission(lid, tx);
         net_.trace(TraceEventKind::kTransmitted, pkt, id_, lid);
-        if (is_update) net_.on_update_packet_sent();
+        if (is_update) {
+          net_.on_update_packet_sent();
+        } else {
+          net_.on_data_packet_sent();
+        }
         // Hand the packet to the propagation medium; it arrives at the
         // neighbor prop_delay later (Network routes it to the peer PSN).
         net_.deliver_to_peer(lid, std::move(pkt));
@@ -237,6 +241,9 @@ void Psn::measurement_period() {
     const metrics::PeriodMeasurement m =
         o.meas.end_period(net_.config().measurement_period);
     candidates[i] = o.up ? o.metric->on_period(m) : kDownLinkCost;
+    net_.on_period_measured(o.id, o.last_candidate, candidates[i],
+                            m.busy_fraction);
+    o.last_candidate = candidates[i];
     if (o.filter.should_report(candidates[i])) significant = true;
   }
   if (significant) originate_update(candidates);
@@ -386,9 +393,13 @@ void Psn::set_local_link_up(net::LinkId out_link, bool up) {
     o.metric->on_link_up();
     // "When a link comes up it starts with its highest cost" (section 5.4).
     candidates[static_cast<std::size_t>(&o - out_.data())] = o.metric->initial_cost();
+    // The next period's movement is limited against the restart cost, not
+    // whatever the link reported before it went down.
+    o.last_candidate = o.metric->initial_cost();
     maybe_start_tx(o);
   } else {
     candidates[static_cast<std::size_t>(&o - out_.data())] = kDownLinkCost;
+    o.last_candidate = kDownLinkCost;
   }
   originate_update(candidates);
 }

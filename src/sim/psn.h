@@ -93,12 +93,15 @@ class Psn {
     std::unique_ptr<metrics::LinkMetric> metric;
     routing::SignificanceFilter filter;
     double reported = 0.0;
+    /// Previous measurement period's candidate cost (reported or not) —
+    /// the baseline the per-period movement invariant is checked against.
+    double last_candidate = 0.0;
 
     OutLink(net::LinkId lid, metrics::DelayMeasurement m,
             std::unique_ptr<metrics::LinkMetric> met,
             routing::SignificanceFilter f, double initial)
         : id{lid}, meas{std::move(m)}, metric{std::move(met)},
-          filter{std::move(f)}, reported{initial} {}
+          filter{std::move(f)}, reported{initial}, last_candidate{initial} {}
   };
 
   void measurement_period();

@@ -1,8 +1,9 @@
 #include "src/sim/scenario.h"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "src/obs/stopwatch.h"
 
 namespace arpanet::sim {
 
@@ -121,26 +122,26 @@ traffic::TrafficMatrix scenario_matrix(const net::Topology& topo,
 ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg,
                             const std::string& label) {
   cfg.validate();
-  const auto start = std::chrono::steady_clock::now();
-  NetworkConfig ncfg = cfg.network;
-  ncfg.metric = cfg.metric;
-  ncfg.seed = cfg.seed;
-  Network network{topo, ncfg};
-  network.add_traffic(scenario_matrix(topo, cfg));
-  network.run_for(cfg.warmup);
-  network.reset_stats();
-  network.run_for(cfg.window);
   ScenarioResult result;
-  result.indicators =
-      network.indicators(label.empty() ? cfg.effective_label() : label);
-  result.stats = network.stats();
-  if (cfg.self_audit) {
-    result.audit = analysis::audit_network(network);
+  {
+    const obs::ScopedTimer timer{result.wall_seconds};
+    NetworkConfig ncfg = cfg.network;
+    ncfg.metric = cfg.metric;
+    ncfg.seed = cfg.seed;
+    Network network{topo, ncfg};
+    network.add_traffic(scenario_matrix(topo, cfg));
+    network.run_for(cfg.warmup);
+    network.reset_stats();
+    network.run_for(cfg.window);
+    result.indicators =
+        network.indicators(label.empty() ? cfg.effective_label() : label);
+    result.stats = network.stats();
+    if (cfg.self_audit) {
+      result.audit = analysis::audit_network(network);
+    }
+    result.counters = network.counters();
+    result.events_processed = network.simulator().events_processed();
   }
-  result.events_processed = network.simulator().events_processed();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
   return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include "src/analysis/invariants.h"
 #include "src/net/topology.h"
+#include "src/obs/counters.h"
 #include "src/sim/network.h"
 #include "src/traffic/traffic_matrix.h"
 
@@ -90,6 +91,9 @@ struct ScenarioResult {
   // ---- per-run telemetry ----
   double wall_seconds = 0.0;            ///< host time spent in the run
   std::uint64_t events_processed = 0;   ///< simulator events executed
+  /// Whole-run observability counters (src/obs/counters.h), warm-up
+  /// included — SPF work, flooding volume, forwarding, queue depth.
+  obs::Counters counters;
   /// What the end-of-run self-audit covered (all zeros when disabled).
   analysis::AuditStats audit;
 

@@ -29,6 +29,10 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+  /// High-water mark of the pending-event count (telemetry).
+  [[nodiscard]] std::size_t queue_peak_depth() const {
+    return queue_.peak_size();
+  }
 
  private:
   EventQueue queue_;

@@ -1,0 +1,119 @@
+// Property fuzz of the HNM transform (core::HnMetric): for every line type
+// and a thousand random delay sequences, every reported cost must obey the
+// paper's hard invariants simultaneously —
+//   * clip bounds: min_cost(prop) <= cost <= max_cost (section 4.4),
+//   * movement limits: consecutive reports move at most up_limit() up and
+//     down_limit() down (section 4.3), and
+//   * the flat region: once the averaged utilization settles below the
+//     line's flat threshold, the cost settles at min_cost (section 4.2).
+// The delay sequences are adversarial on purpose: mixtures of idle periods,
+// random jumps, saturation bursts and link restarts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/hn_metric.h"
+#include "src/core/line_params.h"
+#include "src/net/line_type.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace arpanet::core {
+namespace {
+
+using net::LineTypeInfo;
+using util::Rng;
+using util::SimTime;
+
+constexpr int kSeeds = 1000;
+constexpr int kPeriodsPerSeed = 48;
+constexpr double kSlack = 1e-9;
+
+/// One random measured-delay value: idle, moderate, or saturated, so that
+/// the transform is exercised across the whole utilization range.
+SimTime random_delay(Rng& rng, SimTime prop_delay) {
+  const double roll = rng.uniform();
+  if (roll < 0.3) {
+    // Near-idle: delay barely above the propagation floor.
+    return prop_delay + SimTime::from_us(static_cast<std::int64_t>(
+                            rng.uniform(0.0, 5'000.0)));
+  }
+  if (roll < 0.8) {
+    // Moderate queueing: up to a quarter second of delay.
+    return prop_delay + SimTime::from_us(static_cast<std::int64_t>(
+                            rng.uniform(0.0, 250'000.0)));
+  }
+  // Saturation burst: multi-second delays, far past any M/M/1 inversion.
+  return SimTime::from_us(
+      static_cast<std::int64_t>(rng.uniform(1e6, 20e6)));
+}
+
+TEST(HnMetricPropertyTest, RandomDelaySequencesKeepEveryInvariant) {
+  const LineParamsTable table = LineParamsTable::arpanet_defaults();
+  const LineTypeInfo* types = net::all_line_types();
+  long reports_checked = 0;
+
+  for (int t = 0; t < net::kLineTypeCount; ++t) {
+    const LineTypeInfo& info = types[t];
+    const LineTypeParams& params = table.for_type(info.type);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng{0x5eed0000ULL + static_cast<std::uint64_t>(seed) * 8 +
+              static_cast<std::uint64_t>(t)};
+      HnMetric metric{params, info.rate, info.default_prop_delay};
+      double previous = metric.last_reported();
+
+      for (int period = 0; period < kPeriodsPerSeed; ++period) {
+        // Occasionally restart the link: the next report starts over from
+        // the maximum (section 5.4), so the movement baseline resets too.
+        if (rng.bernoulli(0.02)) {
+          metric.on_link_up();
+          previous = metric.last_reported();
+        }
+        const double cost =
+            metric.update_from_delay(random_delay(rng, info.default_prop_delay));
+        ++reports_checked;
+
+        // Clip bounds.
+        ASSERT_GE(cost, metric.min_cost() - kSlack)
+            << info.name << " seed " << seed << " period " << period;
+        ASSERT_LE(cost, metric.max_cost() + kSlack)
+            << info.name << " seed " << seed << " period " << period;
+
+        // Exact per-period movement limits against the previous report.
+        ASSERT_LE(cost - previous, params.up_limit() + kSlack)
+            << info.name << " seed " << seed << " period " << period;
+        ASSERT_LE(previous - cost, params.down_limit() + kSlack)
+            << info.name << " seed " << seed << " period " << period;
+        previous = cost;
+      }
+    }
+
+    // Flat region: hold the line near idle until the movement limiter has
+    // walked the cost all the way down; it must settle exactly at the
+    // minimum and stay there.
+    HnMetric metric{params, info.rate, info.default_prop_delay};
+    double cost = metric.last_reported();
+    for (int period = 0; period < 64; ++period) {
+      cost = metric.update_from_delay(info.default_prop_delay);
+    }
+    EXPECT_NEAR(cost, metric.min_cost(), 1e-9) << info.name;
+    EXPECT_NEAR(metric.update_from_delay(info.default_prop_delay),
+                metric.min_cost(), 1e-9)
+        << info.name << ": cost moved inside the flat region";
+
+    // And the static equilibrium map agrees below the threshold.
+    for (double u = 0.0; u <= params.flat_threshold; u += 0.05) {
+      EXPECT_NEAR(metric.equilibrium_cost(u), metric.min_cost(), 1e-9)
+          << info.name << " at utilization " << u;
+    }
+  }
+
+  // 8 line types x 1000 seeds x 48 periods.
+  EXPECT_EQ(reports_checked,
+            static_cast<long>(net::kLineTypeCount) * kSeeds * kPeriodsPerSeed);
+}
+
+}  // namespace
+}  // namespace arpanet::core

@@ -12,6 +12,8 @@
 #include "src/core/line_params.h"
 #include "src/net/builders/builders.h"
 #include "src/routing/spf.h"
+#include "src/sim/network.h"
+#include "src/sim/psn.h"
 #include "src/sim/scenario.h"
 #include "src/util/check.h"
 
@@ -143,6 +145,46 @@ TEST(SpfTreeCheckTest, DeathOnCorruptedParent) {
     }
   }
   EXPECT_DEATH(analysis::check_spf_tree(topo, tree, costs), "ends at node");
+}
+
+TEST(PeriodMovementHookTest, EveryMeasurementPeriodIsCheckedExactly) {
+  // The per-update-period hook enforces the movement bound at the cadence
+  // the paper states it (every measurement period, no threshold slack), so
+  // a long loaded run racks up node_count x periods checks.
+  const arpanet::net::Topology topo = builders::ring(5);
+  arpanet::sim::NetworkConfig cfg;
+  arpanet::sim::Network net{topo, cfg};
+  net.add_traffic(arpanet::traffic::TrafficMatrix::uniform(
+      topo.node_count(), 200e3));
+  net.run_for(SimTime::from_sec(100));
+  // ~10 periods of 10 s on each of the 10 simplex links; the staggered
+  // period clocks cost each node at most one close inside the window.
+  EXPECT_GE(net.counters().invariant_period_checks, 9u * topo.link_count());
+  EXPECT_LE(net.counters().invariant_period_checks, 10u * topo.link_count());
+}
+
+TEST(PeriodMovementHookTest, DeathOnOverLimitPeriodMove) {
+  // A candidate cost that jumps more than up_limit in one period must kill
+  // the process the moment the period closes — with no threshold widening:
+  // one unit past the limit is enough.
+  const LineTypeParams params;  // terrestrial56: up_limit 16
+  const arpanet::net::Topology topo = builders::ring(4);
+  arpanet::sim::NetworkConfig cfg;
+  arpanet::sim::Network net{topo, cfg};
+  EXPECT_DEATH(
+      net.on_period_measured(0, 60.0, 60.0 + params.up_limit() + 1.0, 0.5),
+      "above the per-update up limit");
+}
+
+TEST(PeriodMovementHookTest, DownSentinelPeriodsAreExempt) {
+  // Link-down periods report the kDownLinkCost sentinel on either side of
+  // the transition; neither direction is a metric movement.
+  const arpanet::net::Topology topo = builders::ring(4);
+  arpanet::sim::NetworkConfig cfg;
+  arpanet::sim::Network net{topo, cfg};
+  net.on_period_measured(0, arpanet::sim::Psn::kDownLinkCost, 90.0, 0.0);
+  net.on_period_measured(0, 90.0, arpanet::sim::Psn::kDownLinkCost, 0.0);
+  SUCCEED();
 }
 
 TEST(ScenarioAuditTest, EveryScenarioRunSelfAudits) {

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/core/line_params.h"
+#include "src/metrics/dspf_metric.h"
 #include "src/metrics/metric_factory.h"
 #include "src/metrics/minhop_metric.h"
 #include "src/net/builders/builders.h"
@@ -42,6 +43,28 @@ TEST(KindMetricFactoryTest, MatchesMakeMetricForEveryKind) {
                      from_free_fn->change_threshold());
     EXPECT_EQ(from_factory->threshold_decays(), from_free_fn->threshold_decays());
   }
+}
+
+TEST(KindMetricFactoryTest, BoundsMatchTheBuiltInMetricRanges) {
+  const net::Link link = test_link();
+  const core::LineParamsTable params;
+
+  const auto minhop = KindMetricFactory{MetricKind::kMinHop}.bounds(link, params);
+  ASSERT_TRUE(minhop.has_value());
+  EXPECT_DOUBLE_EQ(minhop->min_cost, MinHopMetric{}.initial_cost());
+  EXPECT_DOUBLE_EQ(minhop->max_cost, MinHopMetric{}.initial_cost());
+
+  const auto dspf = KindMetricFactory{MetricKind::kDspf}.bounds(link, params);
+  ASSERT_TRUE(dspf.has_value());
+  EXPECT_DOUBLE_EQ(dspf->min_cost,
+                   (DspfMetric{link.rate, link.prop_delay}.bias()));
+  EXPECT_DOUBLE_EQ(dspf->max_cost, DspfMetric::kMaxUnits);
+
+  const auto hnspf = KindMetricFactory{MetricKind::kHnSpf}.bounds(link, params);
+  ASSERT_TRUE(hnspf.has_value());
+  const core::LineTypeParams& p = params.for_type(link.type);
+  EXPECT_DOUBLE_EQ(hnspf->min_cost, p.min_cost(link.prop_delay));
+  EXPECT_DOUBLE_EQ(hnspf->max_cost, p.max_cost);
 }
 
 TEST(FunctionMetricFactoryTest, InvokesTheCallable) {
@@ -105,6 +128,44 @@ TEST(MetricFactoryInjectionTest, NetworkUsesInjectedFactory) {
   // The injected factory names the result.
   EXPECT_EQ(factory_result.indicators.label, "custom-min-hop");
   EXPECT_EQ(kind_result.indicators.label, "min-hop");
+}
+
+ScenarioConfig custom_factory_config(double declared_min, double declared_max) {
+  // A fixed-cost custom metric whose factory declares absolute bounds; the
+  // invariant layer must validate its costs against the declaration instead
+  // of only recognizing the built-in kinds.
+  return ScenarioConfig{}
+      .with_metric_factory(std::make_shared<FunctionMetricFactory>(
+          "fixed-5",
+          [](const net::Link&, const core::LineParamsTable&) {
+            return std::make_unique<MinHopMetric>(5.0);
+          },
+          [declared_min, declared_max](const net::Link&,
+                                       const core::LineParamsTable&) {
+            return CostBounds{declared_min, declared_max};
+          }))
+      .with_shape(TrafficShape::kUniform)
+      .with_load_bps(40e3)
+      .with_warmup(SimTime::from_sec(10))
+      .with_window(SimTime::from_sec(30));
+}
+
+TEST(MetricFactoryBoundsTest, AuditValidatesCustomFactoryAgainstItsBounds) {
+  const net::Topology topo = net::builders::ring(4);
+  // Honest declaration: the constant cost 5 lies inside [4, 6], so the
+  // end-of-run audit bounds-checks every link and passes.
+  const auto result =
+      sim::run_scenario(topo, custom_factory_config(4.0, 6.0), "");
+  EXPECT_EQ(result.audit.costs_checked, static_cast<long>(topo.link_count()));
+}
+
+TEST(MetricFactoryBoundsTest, DeathWhenCostsViolateDeclaredBounds) {
+  const net::Topology topo = net::builders::ring(4);
+  // The factory promises [10, 20] but its metric reports the constant 5:
+  // the audit must treat the factory's declaration as binding and abort.
+  EXPECT_DEATH(
+      (void)sim::run_scenario(topo, custom_factory_config(10.0, 20.0), ""),
+      "below line-type minimum");
 }
 
 }  // namespace

@@ -1,0 +1,59 @@
+// bench_report: runs a fixed benchmark battery and writes the
+// schema-versioned BENCH_metrics.json document (src/obs/bench_report.h).
+//
+//   bench_report                          # full battery -> BENCH_metrics.json
+//   bench_report --scenario=smoke         # the golden-test battery
+//   bench_report --threads=4 --out=-      # explicit workers, JSON to stdout
+//
+// Exits nonzero (with the violations on stderr) when the report fails its
+// own schema validation — the CI bench-smoke job relies on that.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/obs/bench_report.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace arpanet;
+
+  const util::Flags flags{argc, argv};
+  const std::string battery = flags.get_string("scenario", "battery");
+  const int threads = static_cast<int>(flags.get_long("threads", 0));
+  const std::string out_path = flags.get_string("out", "BENCH_metrics.json");
+  for (const std::string& f : flags.unknown()) {
+    std::cerr << "bench_report: unknown flag --" << f << "\n";
+    return 2;
+  }
+
+  obs::BenchReport report;
+  try {
+    report = obs::run_bench_battery(battery, threads);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_report: " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::string json = report.json();
+  if (out_path == "-") {
+    std::cout << json;
+  } else {
+    std::ofstream out{out_path};
+    if (!out) {
+      std::cerr << "bench_report: cannot open " << out_path << "\n";
+      return 2;
+    }
+    out << json;
+    std::cerr << "bench_report: wrote " << out_path << " (" << report.cells.size()
+              << " cells, " << report.elapsed_sec << "s)\n";
+  }
+
+  const std::vector<std::string> errors = report.validate();
+  if (!errors.empty()) {
+    std::cerr << "bench_report: schema validation failed:\n";
+    for (const std::string& e : errors) std::cerr << "  " << e << "\n";
+    return 1;
+  }
+  return 0;
+}
