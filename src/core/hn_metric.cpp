@@ -57,10 +57,13 @@ double HnMetric::update_from_utilization(double sample_utilization) {
   ARPA_DCHECK(revised >= min_cost_ && revised <= params_.max_cost)
       << "revised cost " << revised << " outside [" << min_cost_ << ", "
       << params_.max_cost << "]";
-  ARPA_DCHECK(revised - last_reported_ <= params_.up_limit())
+  // Compare against the same clamp bounds limit_movement computed: the
+  // subtracted form `revised - last_reported_ <= up_limit()` can fail
+  // spuriously when `(last + up) - last` rounds above `up`.
+  ARPA_DCHECK(revised <= last_reported_ + params_.up_limit())
       << "revised cost rose " << last_reported_ << " -> " << revised
       << ", past the up limit " << params_.up_limit();
-  ARPA_DCHECK(last_reported_ - revised <= params_.down_limit())
+  ARPA_DCHECK(revised >= last_reported_ - params_.down_limit())
       << "revised cost fell " << last_reported_ << " -> " << revised
       << ", past the down limit " << params_.down_limit();
   last_reported_ = revised;

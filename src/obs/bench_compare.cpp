@@ -1,0 +1,375 @@
+#include "src/obs/bench_compare.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/obs/bench_report.h"
+
+namespace arpanet::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. The repo deliberately has no external dependencies,
+// and the bench documents are machine-written by obs::BenchReport, so a
+// small recursive-descent parser over the full JSON grammar (minus \u
+// escapes, which the writer never emits) is all that is needed.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; bench documents never repeat keys.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_{text} {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't': {
+        literal("true");
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        literal("false");
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        return v;
+      }
+      case 'n':
+        literal("null");
+        return {};
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.string = raw_string();
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default: fail("unsupported escape");  // \uXXXX never written here
+      }
+    }
+  }
+
+  JsonValue number() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) fail("expected a value");
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Fields derived from host wall time: excluded from the deterministic-work
+/// diff and handled by the noise-band rate check instead.
+bool is_wall_time_field(const std::string& path) {
+  return path == "wall_sec" || path == "events_per_sec";
+}
+
+/// Flattens every numeric leaf of a cell into ("spf.full", value) pairs, in
+/// document order. Comparing the flattened forms keeps the checker correct
+/// as the report schema grows fields.
+void flatten_numbers(const JsonValue& v, const std::string& prefix,
+                     std::vector<std::pair<std::string, double>>& out) {
+  if (v.type == JsonValue::Type::kNumber) {
+    if (!is_wall_time_field(prefix)) out.emplace_back(prefix, v.number);
+    return;
+  }
+  if (v.type == JsonValue::Type::kObject) {
+    for (const auto& [k, child] : v.object) {
+      flatten_numbers(child, prefix.empty() ? k : prefix + "." + k, out);
+    }
+  }
+}
+
+double number_field(const JsonValue& cell, const std::string& key) {
+  const JsonValue* f = cell.find(key);
+  return (f != nullptr && f->type == JsonValue::Type::kNumber) ? f->number : 0.0;
+}
+
+std::string string_field(const JsonValue& cell, const std::string& key) {
+  const JsonValue* f = cell.find(key);
+  return (f != nullptr && f->type == JsonValue::Type::kString) ? f->string : "";
+}
+
+JsonValue parse_report(const std::string& json, const char* which) {
+  JsonValue doc;
+  try {
+    doc = JsonParser{json}.parse();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string{which} + " document: " + e.what());
+  }
+  if (doc.type != JsonValue::Type::kObject) {
+    throw std::invalid_argument(std::string{which} + " document: not an object");
+  }
+  if (string_field(doc, "schema") != kBenchSchemaName ||
+      static_cast<int>(number_field(doc, "schema_version")) !=
+          kBenchSchemaVersion) {
+    throw std::invalid_argument(std::string{which} +
+                                " document: not an arpanet-bench-metrics v" +
+                                std::to_string(kBenchSchemaVersion) +
+                                " document");
+  }
+  return doc;
+}
+
+std::string cell_name(const JsonValue& cell) {
+  return string_field(cell, "topology") + "/" + string_field(cell, "metric");
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+CompareReport compare_bench_reports(const std::string& baseline_json,
+                                    const std::string& current_json,
+                                    const CompareOptions& options) {
+  const JsonValue base = parse_report(baseline_json, "baseline");
+  const JsonValue cur = parse_report(current_json, "current");
+
+  CompareReport report;
+  auto violate = [&report](const std::string& v) {
+    report.violations.push_back(v);
+  };
+
+  if (string_field(base, "battery") != string_field(cur, "battery")) {
+    violate("battery mismatch: baseline '" + string_field(base, "battery") +
+            "' vs current '" + string_field(cur, "battery") + "'");
+    return report;
+  }
+
+  const JsonValue* base_cells = base.find("scenarios");
+  const JsonValue* cur_cells = cur.find("scenarios");
+  if (base_cells == nullptr || cur_cells == nullptr ||
+      base_cells->array.size() != cur_cells->array.size()) {
+    violate("cell count mismatch: baseline " +
+            std::to_string(base_cells != nullptr ? base_cells->array.size() : 0) +
+            " vs current " +
+            std::to_string(cur_cells != nullptr ? cur_cells->array.size() : 0));
+    return report;
+  }
+
+  for (std::size_t i = 0; i < base_cells->array.size(); ++i) {
+    const JsonValue& b = base_cells->array[i];
+    const JsonValue& c = cur_cells->array[i];
+    const std::string name = cell_name(b);
+    if (name != cell_name(c)) {
+      violate("cell " + std::to_string(i) + ": baseline is " + name +
+              " but current is " + cell_name(c));
+      continue;
+    }
+
+    // Deterministic work: identical field sets, values within work_noise
+    // (exactly equal by default).
+    std::vector<std::pair<std::string, double>> bw;
+    std::vector<std::pair<std::string, double>> cw;
+    flatten_numbers(b, "", bw);
+    flatten_numbers(c, "", cw);
+    if (bw.size() != cw.size()) {
+      violate(name + ": field set changed (" + std::to_string(bw.size()) +
+              " vs " + std::to_string(cw.size()) +
+              " numeric fields); regenerate the baseline");
+      continue;
+    }
+    for (std::size_t f = 0; f < bw.size(); ++f) {
+      if (bw[f].first != cw[f].first) {
+        violate(name + ": field '" + bw[f].first + "' became '" +
+                cw[f].first + "'; regenerate the baseline");
+        break;
+      }
+      const double bv = bw[f].second;
+      const double cv = cw[f].second;
+      const double tol = options.work_noise * std::max(std::abs(bv), 1.0);
+      if (std::abs(cv - bv) > tol) {
+        violate(name + ": " + bw[f].first + " " + fmt(bv) + " -> " + fmt(cv) +
+                " (deterministic work drifted; the simulation changed)");
+      }
+    }
+
+    // Throughput: machine-dependent, checked against the noise band.
+    CellDelta delta;
+    delta.topology = string_field(b, "topology");
+    delta.metric = string_field(b, "metric");
+    delta.baseline_events_per_sec = number_field(b, "events_per_sec");
+    delta.current_events_per_sec = number_field(c, "events_per_sec");
+    if (delta.baseline_events_per_sec > 0.0) {
+      delta.ratio = delta.current_events_per_sec / delta.baseline_events_per_sec;
+      if (delta.ratio < 1.0 - options.rate_noise) {
+        violate(name + ": events_per_sec " +
+                fmt(delta.baseline_events_per_sec) + " -> " +
+                fmt(delta.current_events_per_sec) + " (" + fmt(delta.ratio) +
+                "x, below the " + fmt(1.0 - options.rate_noise) + " floor)");
+      }
+    }
+    report.cells.push_back(std::move(delta));
+  }
+  return report;
+}
+
+void CompareReport::write_text(std::ostream& os) const {
+  for (const CellDelta& d : cells) {
+    os << d.topology << "/" << d.metric << ": " << fmt(d.baseline_events_per_sec)
+       << " -> " << fmt(d.current_events_per_sec) << " ev/s";
+    if (d.ratio > 0.0) os << " (" << fmt(d.ratio) << "x)";
+    os << "\n";
+  }
+  if (violations.empty()) {
+    os << "bench_compare: OK (" << cells.size() << " cells)\n";
+  } else {
+    for (const std::string& v : violations) os << "VIOLATION: " << v << "\n";
+  }
+}
+
+}  // namespace arpanet::obs

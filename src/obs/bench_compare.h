@@ -1,0 +1,66 @@
+// Benchmark trend checking: compares two arpanet-bench-metrics documents.
+//
+// The CI bench-smoke job runs the battery on every push; without a checker
+// the events_per_sec telemetry is write-only and a performance regression
+// only surfaces when someone reads the artifacts by hand. compare_bench_reports
+// diffs a freshly produced report against a committed baseline
+// (bench/baseline/) and flags:
+//
+//   * schema / battery / cell-set mismatches — the reports are not comparable;
+//   * drift in the deterministic work fields (events, SPF counters, packet
+//     counts, delay percentiles). The simulation is bit-reproducible for a
+//     given seed on any machine, so these compare exactly by default — a
+//     change means the simulation itself changed, not the hardware;
+//   * events_per_sec regressions beyond a configurable noise band. Wall
+//     time is machine-dependent, so CI runs with a generous band while a
+//     developer comparing two runs of one machine can tighten it.
+//
+// tools/bench_compare is the CLI wrapper; it exits nonzero on any violation
+// so the CI job fails loudly.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arpanet::obs {
+
+struct CompareOptions {
+  /// Allowed fractional drop in events_per_sec before a cell is flagged
+  /// (0.10 = current may be up to 10% slower than baseline). Cells whose
+  /// baseline rate is zero (a masked document) skip the rate check.
+  double rate_noise = 0.10;
+  /// Allowed fractional drift in the deterministic work fields. The default
+  /// demands exact equality; raise it only when comparing across code
+  /// changes that intentionally alter the workload.
+  double work_noise = 0.0;
+};
+
+/// One cell's throughput comparison.
+struct CellDelta {
+  std::string topology;
+  std::string metric;
+  double baseline_events_per_sec = 0.0;
+  double current_events_per_sec = 0.0;
+  /// current / baseline; 0 when the baseline rate is masked.
+  double ratio = 0.0;
+};
+
+struct CompareReport {
+  std::vector<CellDelta> cells;
+  std::vector<std::string> violations;  ///< empty means the check passed
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Human-readable per-cell table plus any violations.
+  void write_text(std::ostream& os) const;
+};
+
+/// Parses and diffs two bench documents (see file comment for the checks).
+/// Throws std::invalid_argument when either document cannot be parsed or
+/// does not carry the expected schema.
+[[nodiscard]] CompareReport compare_bench_reports(
+    const std::string& baseline_json, const std::string& current_json,
+    const CompareOptions& options = {});
+
+}  // namespace arpanet::obs

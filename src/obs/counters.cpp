@@ -7,7 +7,7 @@ namespace arpanet::obs {
 
 namespace {
 
-constexpr std::array<Counters::Entry, 11> kCatalog{{
+constexpr std::array<Counters::Entry, 14> kCatalog{{
     {"spf_full", &Counters::spf_full, Counters::Merge::kSum},
     {"spf_incremental", &Counters::spf_incremental, Counters::Merge::kSum},
     {"spf_skipped", &Counters::spf_skipped, Counters::Merge::kSum},
@@ -21,6 +21,11 @@ constexpr std::array<Counters::Entry, 11> kCatalog{{
     {"events_processed", &Counters::events_processed, Counters::Merge::kSum},
     {"event_queue_peak_depth", &Counters::event_queue_peak_depth,
      Counters::Merge::kMax},
+    {"packet_pool_slots", &Counters::packet_pool_slots, Counters::Merge::kMax},
+    {"packet_pool_acquired", &Counters::packet_pool_acquired,
+     Counters::Merge::kSum},
+    {"packet_pool_recycled", &Counters::packet_pool_recycled,
+     Counters::Merge::kSum},
     {"invariant_period_checks", &Counters::invariant_period_checks,
      Counters::Merge::kSum},
 }};

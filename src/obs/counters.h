@@ -42,6 +42,11 @@ struct Counters {
   std::uint64_t events_processed = 0;
   std::uint64_t event_queue_peak_depth = 0;  ///< high-water mark (merged by max)
 
+  // ---- packet pool (sim/packet_pool.h) ----
+  std::uint64_t packet_pool_slots = 0;     ///< distinct slots allocated (max)
+  std::uint64_t packet_pool_acquired = 0;  ///< total packet acquisitions
+  std::uint64_t packet_pool_recycled = 0;  ///< acquisitions served by freelist
+
   // ---- runtime invariant layer ----
   /// Exact per-update-period movement-bound checks executed (section 4.3).
   std::uint64_t invariant_period_checks = 0;

@@ -14,9 +14,23 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-using HeapEntry = std::pair<double, net::NodeId>;  // (dist, node), min-heap
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+// (dist, node) binary min-heap over a plain vector. std::push_heap/pop_heap
+// sift exactly like std::priority_queue's, but the vector's capacity can be
+// reused across passes (SpfScratch::heap).
+using HeapEntry = std::pair<double, net::NodeId>;
+using HeapVec = std::vector<HeapEntry>;
+
+void heap_push(HeapVec& heap, double dist, net::NodeId node) {
+  heap.emplace_back(dist, node);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+HeapEntry heap_pop(HeapVec& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  const HeapEntry e = heap.back();
+  heap.pop_back();
+  return e;
+}
 
 void check_costs(const net::Topology& topo, std::span<const double> costs) {
   if (costs.size() != topo.link_count()) {
@@ -36,7 +50,7 @@ void check_costs(const net::Topology& topo, std::span<const double> costs) {
 /// parents Dijkstra's settle order happened to produce) is what makes every
 /// PSN compute the identical tree from identical costs.
 void derive_structure(const net::Topology& topo, std::span<const double> costs,
-                      SpfTree& tree) {
+                      SpfTree& tree, std::vector<net::NodeId>& order) {
   const std::size_t n = topo.node_count();
   tree.parent_link.assign(n, net::kInvalidLink);
   tree.first_hop.assign(n, net::kInvalidLink);
@@ -55,13 +69,25 @@ void derive_structure(const net::Topology& topo, std::span<const double> costs,
     }
   }
 
-  // Positive costs mean dist strictly increases along tree edges, so
-  // processing nodes in distance order visits parents before children.
-  std::vector<net::NodeId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::ranges::sort(order, [&](net::NodeId a, net::NodeId b) {
-    return tree.dist[a] < tree.dist[b];
-  });
+  // Positive costs mean dist strictly increases along tree edges, so any
+  // nondecreasing-distance order visits parents before children (tie order
+  // among equal distances is irrelevant: equal-dist nodes are never
+  // parent/child). The caller's buffer persists between updates and an
+  // incremental pass only perturbs the affected region's distances, so the
+  // buffer is almost sorted already — insertion sort runs in
+  // O(n + inversions), typically a single sweep, where a comparison sort
+  // would pay its full O(n log n) on every rederivation.
+  if (order.size() != n) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), net::NodeId{0});
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const net::NodeId v = order[i];
+    const double dv = tree.dist[v];
+    std::size_t j = i;
+    for (; j > 0 && dv < tree.dist[order[j - 1]]; --j) order[j] = order[j - 1];
+    order[j] = v;
+  }
   for (const net::NodeId v : order) {
     if (v == tree.root || tree.parent_link[v] == net::kInvalidLink) continue;
     const net::Link& pl = topo.link(tree.parent_link[v]);
@@ -89,12 +115,11 @@ SpfTree Spf::compute(const net::Topology& topo, net::NodeId root,
   tree.dist.assign(topo.node_count(), kInf);
   tree.dist[root] = 0.0;
 
-  MinHeap heap;
-  heap.emplace(0.0, root);
+  HeapVec heap;
+  heap_push(heap, 0.0, root);
   std::vector<bool> settled(topo.node_count(), false);
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
+    const auto [d, u] = heap_pop(heap);
     if (settled[u]) continue;
     settled[u] = true;
     for (const net::LinkId lid : topo.out_links(u)) {
@@ -102,12 +127,13 @@ SpfTree Spf::compute(const net::Topology& topo, net::NodeId root,
       const double nd = d + link_costs[lid];
       if (nd < tree.dist[l.to]) {
         tree.dist[l.to] = nd;
-        heap.emplace(nd, l.to);
+        heap_push(heap, nd, l.to);
       }
     }
   }
 
-  derive_structure(topo, link_costs, tree);
+  std::vector<net::NodeId> order;
+  derive_structure(topo, link_costs, tree, order);
   return tree;
 }
 
@@ -155,18 +181,18 @@ void IncrementalSpf::decrease_pass(net::LinkId link) {
   const double cand = tree_.dist[l.from] + costs_[link];
   if (cand >= tree_.dist[l.to]) return;
 
-  MinHeap heap;
-  heap.emplace(cand, l.to);
+  HeapVec& heap = scratch_.heap;
+  heap.clear();
+  heap_push(heap, cand, l.to);
   while (!heap.empty()) {
-    const auto [d, w] = heap.top();
-    heap.pop();
+    const auto [d, w] = heap_pop(heap);
     if (d >= tree_.dist[w]) continue;
     tree_.dist[w] = d;
     ++nodes_touched_;
     for (const net::LinkId out : topo_->out_links(w)) {
       const net::Link& ol = topo_->link(out);
       const double nd = d + costs_[out];
-      if (nd < tree_.dist[ol.to]) heap.emplace(nd, ol.to);
+      if (nd < tree_.dist[ol.to]) heap_push(heap, nd, ol.to);
     }
   }
 }
@@ -176,21 +202,40 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
   const std::size_t n = topo_->node_count();
 
   // Affected region: the subtree hanging below the head of the increased
-  // link. Everything else keeps its distance.
-  std::vector<std::vector<net::NodeId>> children(n);
+  // link. Everything else keeps its distance. The children adjacency is a
+  // two-pass counting build into a CSR index (child_start/child_list) so no
+  // per-node vectors are allocated.
+  auto& cs = scratch_.child_start;
+  auto& cl = scratch_.child_list;
+  cs.assign(n + 1, 0);
   for (net::NodeId v = 0; v < n; ++v) {
     const net::LinkId pl = tree_.parent_link[v];
-    if (pl != net::kInvalidLink) children[topo_->link(pl).from].push_back(v);
+    if (pl != net::kInvalidLink) ++cs[topo_->link(pl).from + 1];
   }
-  std::vector<bool> affected(n, false);
-  std::vector<net::NodeId> stack{l.to};
-  affected[l.to] = true;
+  for (std::size_t u = 0; u < n; ++u) cs[u + 1] += cs[u];
+  cl.resize(cs[n]);
+  // The fill advances cs[u] from u's start offset to its end offset, so
+  // afterwards u's children live in cl[cs[u-1] .. cs[u]) (start of node 0
+  // is 0).
+  for (net::NodeId v = 0; v < n; ++v) {
+    const net::LinkId pl = tree_.parent_link[v];
+    if (pl != net::kInvalidLink) cl[cs[topo_->link(pl).from]++] = v;
+  }
+
+  auto& affected = scratch_.affected;
+  auto& stack = scratch_.stack;
+  affected.assign(n, 0);
+  stack.clear();
+  stack.push_back(l.to);
+  affected[l.to] = 1;
   while (!stack.empty()) {
     const net::NodeId v = stack.back();
     stack.pop_back();
-    for (const net::NodeId c : children[v]) {
+    const std::uint32_t begin = (v == 0) ? 0 : cs[v - 1];
+    for (std::uint32_t i = begin; i < cs[v]; ++i) {
+      const net::NodeId c = cl[i];
       if (!affected[c]) {
-        affected[c] = true;
+        affected[c] = 1;
         stack.push_back(c);
       }
     }
@@ -198,7 +243,8 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
 
   // Re-run Dijkstra over the affected region, seeded with the best entry
   // from the unaffected frontier (which includes the increased link itself).
-  MinHeap heap;
+  HeapVec& heap = scratch_.heap;
+  heap.clear();
   for (net::NodeId v = 0; v < n; ++v) {
     if (!affected[v]) continue;
     tree_.dist[v] = kInf;
@@ -207,24 +253,23 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
   for (const net::Link& in : topo_->links()) {
     if (!affected[in.to] || affected[in.from]) continue;
     if (tree_.dist[in.from] == kInf) continue;
-    heap.emplace(tree_.dist[in.from] + costs_[in.id], in.to);
+    heap_push(heap, tree_.dist[in.from] + costs_[in.id], in.to);
   }
   while (!heap.empty()) {
-    const auto [d, w] = heap.top();
-    heap.pop();
+    const auto [d, w] = heap_pop(heap);
     if (d >= tree_.dist[w]) continue;
     tree_.dist[w] = d;
     for (const net::LinkId out : topo_->out_links(w)) {
       const net::Link& ol = topo_->link(out);
       if (!affected[ol.to]) continue;
       const double nd = d + costs_[out];
-      if (nd < tree_.dist[ol.to]) heap.emplace(nd, ol.to);
+      if (nd < tree_.dist[ol.to]) heap_push(heap, nd, ol.to);
     }
   }
 }
 
 void IncrementalSpf::rederive_structure() {
-  derive_structure(*topo_, costs_, tree_);
+  derive_structure(*topo_, costs_, tree_, scratch_.order);
 }
 
 std::vector<std::vector<int>> min_hop_lengths(const net::Topology& topo) {

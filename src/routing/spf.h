@@ -23,7 +23,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/net/topology.h"
@@ -59,6 +61,26 @@ class Spf {
  public:
   [[nodiscard]] static SpfTree compute(const net::Topology& topo, net::NodeId root,
                                        std::span<const double> link_costs);
+};
+
+/// Reusable workspace for the incremental passes. One instance lives inside
+/// each IncrementalSpf so a steady-state cost change allocates nothing: the
+/// Dijkstra heap, the subtree bitmap/stack, the CSR children index and the
+/// distance-ordered derivation buffer all keep their capacity across updates.
+struct SpfScratch {
+  /// Binary min-heap of (dist, node), driven via std::push_heap/pop_heap.
+  std::vector<std::pair<double, net::NodeId>> heap;
+  /// Nodes in nondecreasing distance order, persisted between updates so the
+  /// usual case is a cheap is_sorted check over an almost-sorted buffer.
+  std::vector<net::NodeId> order;
+  /// Subtree membership for increase_pass (0/1; plain bytes, not
+  /// vector<bool>, so assign() is a memset).
+  std::vector<std::uint8_t> affected;
+  std::vector<net::NodeId> stack;
+  /// CSR children index: children of u are child_list[child_start[u-1] ..
+  /// child_start[u]) (start of node 0 is 0) — see increase_pass.
+  std::vector<std::uint32_t> child_start;
+  std::vector<net::NodeId> child_list;
 };
 
 /// Resident incremental SPF, as run inside a PSN.
@@ -101,6 +123,7 @@ class IncrementalSpf {
   const net::Topology* topo_;
   LinkCosts costs_;
   SpfTree tree_;
+  SpfScratch scratch_;
   long full_ = 0;
   long skipped_ = 0;
   long incremental_ = 0;

@@ -1,0 +1,265 @@
+// Typed simulation events.
+//
+// The hot paths of a large queueing-network run schedule the same handful of
+// event shapes millions of times: a transmitter finishing a packet, a packet
+// arriving after the propagation delay, a Poisson source ticking, a
+// measurement-period timer, a host-flow RFNM timeout. Representing those as a
+// tagged struct (SimEvent) instead of a type-erased std::function means
+// scheduling a recurring event allocates nothing: the payload is a few plain
+// fields and dispatch is one virtual call into the owning subsystem plus a
+// switch on the kind.
+//
+// Rare events (test fixtures, one-off scenario drivers like a trunk failure
+// at t=15s) still take an arbitrary callable through SmallFn, a move-only
+// small-buffer function wrapper: callables up to SmallFn::kInlineBytes are
+// stored in place, larger ones fall back to the heap — acceptable precisely
+// because those events are not recurring.
+
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/net/topology.h"
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+
+/// Index of a pooled Packet slot (sim/packet_pool.h).
+using PacketHandle = std::uint32_t;
+inline constexpr PacketHandle kInvalidPacketHandle =
+    static_cast<PacketHandle>(-1);
+
+/// Move-only callable wrapper with inline storage; the fallback event
+/// payload. Unlike std::function it accepts move-only callables (so packets
+/// or buffers can be moved into an event) and never allocates for callables
+/// of at most kInlineBytes.
+class SmallFn {
+ public:
+  /// Inline capacity, sized for a captured `this` plus a few words — every
+  /// recurring closure in the simulator fits.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F>
+    requires(!std::same_as<std::remove_cvref_t<F>, SmallFn> &&
+             std::invocable<std::remove_cvref_t<F>&>)
+  // NOLINTNEXTLINE(bugprone-forwarding-reference-overload): constrained above
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      static constexpr VTable kVt{
+          [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+          [](void* from, void* to) noexcept {
+            Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+          },
+          [](void* s) noexcept {
+            std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+          }};
+      vt_ = &kVt;
+    } else {
+      // Oversized or throwing-move callables go to the heap; fine for
+      // rare/test-only events, never used by the recurring kinds.
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      static constexpr VTable kVt{
+          [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+          [](void* from, void* to) noexcept {
+            ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+          },
+          [](void* s) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(s));
+          }};
+      vt_ = &kVt;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : vt_{other.vt_} {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.storage_, storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.storage_, storage_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs the callable at `to` from `from`, destroying `from`.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+struct SimEvent;
+
+/// Receiver of typed events. sim::Network and sim::HostFlowLayer implement
+/// this; each typed SimEvent carries the sink that knows how to dispatch it,
+/// so the Simulator stays ignorant of the subsystems above it.
+class EventSink {
+ public:
+  virtual void handle_event(SimEvent& ev) = 0;
+
+ protected:
+  ~EventSink() = default;  // sinks are never owned through this interface
+};
+
+/// One scheduled event: a tag, a trivially-copyable payload for the
+/// recurring kinds, and the SmallFn fallback for everything else.
+struct SimEvent {
+  enum class Kind : std::uint8_t {
+    kCallback,           ///< fn()           — rare/test-only events
+    kSourceTick,         ///< index = Poisson source index
+    kPropagationArrival, ///< link, packet   — packet reaches the peer PSN
+    kTransmitComplete,   ///< index = node, link, packet, t1 = queue delay,
+                         ///< t2 = transmission time, flag = is_update
+    kMeasurementPeriod,  ///< index = node   — the 10-second metric timer
+    kDvTick,             ///< index = node   — 1969 distance-vector exchange
+    kHostFlowMessage,    ///< index = host-flow pair
+    kHostFlowTimeout,    ///< index = pair, id = message, generation
+  };
+
+  Kind kind = Kind::kCallback;
+  EventSink* sink = nullptr;
+  std::uint32_t index = 0;
+  net::LinkId link = net::kInvalidLink;
+  PacketHandle packet = kInvalidPacketHandle;
+  std::int32_t generation = 0;
+  std::uint64_t id = 0;
+  util::SimTime t1;
+  util::SimTime t2;
+  bool flag = false;
+  SmallFn fn;
+
+  /// Executes the event: typed kinds dispatch through their sink, callbacks
+  /// invoke the stored function.
+  void fire() {
+    if (kind == Kind::kCallback) {
+      fn();
+    } else {
+      sink->handle_event(*this);
+    }
+  }
+
+  [[nodiscard]] static SimEvent callback(SmallFn f) {
+    SimEvent ev;
+    ev.kind = Kind::kCallback;
+    ev.fn = std::move(f);
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent source_tick(EventSink& sink,
+                                            std::uint32_t source_index) {
+    SimEvent ev;
+    ev.kind = Kind::kSourceTick;
+    ev.sink = &sink;
+    ev.index = source_index;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent propagation_arrival(EventSink& sink,
+                                                    net::LinkId link,
+                                                    PacketHandle packet) {
+    SimEvent ev;
+    ev.kind = Kind::kPropagationArrival;
+    ev.sink = &sink;
+    ev.link = link;
+    ev.packet = packet;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent transmit_complete(
+      EventSink& sink, net::NodeId node, net::LinkId link, PacketHandle packet,
+      util::SimTime queue_delay, util::SimTime tx_time, bool is_update) {
+    SimEvent ev;
+    ev.kind = Kind::kTransmitComplete;
+    ev.sink = &sink;
+    ev.index = node;
+    ev.link = link;
+    ev.packet = packet;
+    ev.t1 = queue_delay;
+    ev.t2 = tx_time;
+    ev.flag = is_update;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent measurement_period(EventSink& sink,
+                                                   net::NodeId node) {
+    SimEvent ev;
+    ev.kind = Kind::kMeasurementPeriod;
+    ev.sink = &sink;
+    ev.index = node;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent dv_tick(EventSink& sink, net::NodeId node) {
+    SimEvent ev;
+    ev.kind = Kind::kDvTick;
+    ev.sink = &sink;
+    ev.index = node;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent host_flow_message(EventSink& sink,
+                                                  std::uint32_t pair_index) {
+    SimEvent ev;
+    ev.kind = Kind::kHostFlowMessage;
+    ev.sink = &sink;
+    ev.index = pair_index;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent host_flow_timeout(EventSink& sink,
+                                                  std::uint32_t pair_index,
+                                                  std::uint64_t message_id,
+                                                  std::int32_t generation) {
+    SimEvent ev;
+    ev.kind = Kind::kHostFlowTimeout;
+    ev.sink = &sink;
+    ev.index = pair_index;
+    ev.id = message_id;
+    ev.generation = generation;
+    return ev;
+  }
+};
+
+}  // namespace arpanet::sim

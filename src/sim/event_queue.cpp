@@ -1,23 +1,37 @@
 #include "src/sim/event_queue.h"
 
-#include <memory>
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "src/util/check.h"
 
 namespace arpanet::sim {
 
-void EventQueue::schedule(util::SimTime at, Action action) {
-  heap_.push(Entry{at, next_seq_++, std::make_shared<Action>(std::move(action))});
+void EventQueue::schedule(util::SimTime at, SimEvent ev) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = std::move(ev);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(ev));
+  }
+  heap_.push_back(Entry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   if (heap_.size() > peak_size_) peak_size_ = heap_.size();
 }
 
-EventQueue::Action EventQueue::pop(util::SimTime& at) {
+SimEvent EventQueue::pop(util::SimTime& at) {
   ARPA_DCHECK(!heap_.empty()) << "pop from an empty event queue";
-  Entry e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
   at = e.at;
-  return std::move(*e.action);
+  SimEvent ev = std::move(slots_[e.slot]);
+  free_.push_back(e.slot);
+  return ev;
 }
 
 }  // namespace arpanet::sim

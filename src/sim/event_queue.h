@@ -1,49 +1,69 @@
 // Discrete-event queue.
 //
-// A binary min-heap of (time, sequence) keyed events. The sequence number
-// makes ordering of simultaneous events deterministic (FIFO in scheduling
-// order), which keeps whole-network runs bit-reproducible for a given seed.
+// A binary min-heap of (time, sequence) keyed typed events (sim/event.h).
+// The sequence number makes ordering of simultaneous events deterministic
+// (FIFO in scheduling order), which keeps whole-network runs
+// bit-reproducible for a given seed.
+//
+// Events live in a recycled slab (stable deque + freelist, like
+// sim/packet_pool.h) and the heap itself holds only 24-byte
+// (time, seq, slot) records, so the O(log n) sift on every schedule/pop
+// moves small trivially-copyable entries instead of full SimEvents — the
+// event is moved exactly twice, into its slot and back out. The heap is a
+// plain std::vector driven by std::push_heap/std::pop_heap, and popping
+// moves the event out of its slot (SimEvent carries a move-only SmallFn).
+// Scheduling a recurring typed event performs no allocation once the slab
+// and heap have reached their high-water capacity.
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <deque>
 #include <vector>
 
+#include "src/sim/event.h"
 #include "src/util/units.h"
 
 namespace arpanet::sim {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  void schedule(util::SimTime at, SimEvent ev);
 
-  void schedule(util::SimTime at, Action action);
+  /// Convenience: wraps a callable into a SimEvent::callback event.
+  template <typename F>
+    requires std::invocable<std::remove_cvref_t<F>&>
+  void schedule(util::SimTime at, F&& f) {
+    schedule(at, SimEvent::callback(SmallFn{std::forward<F>(f)}));
+  }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   /// High-water mark of size() over the queue's lifetime (telemetry).
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
-  [[nodiscard]] util::SimTime next_time() const { return heap_.top().at; }
+  [[nodiscard]] util::SimTime next_time() const { return heap_.front().at; }
 
-  /// Pops and returns the earliest event. Precondition: !empty().
-  Action pop(util::SimTime& at);
+  /// Pops and moves out the earliest event. Precondition: !empty().
+  [[nodiscard]] SimEvent pop(util::SimTime& at);
 
  private:
   struct Entry {
     util::SimTime at;
-    std::uint64_t seq;
-    // shared_ptr rather than storing the move-only closures directly: the
-    // std heap needs copyable entries, and actions are scheduled once.
-    std::shared_ptr<Action> action;
-    bool operator>(const Entry& o) const {
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+
+    /// Min-heap order under std::greater-style comparison: earliest time
+    /// first, scheduling order among ties.
+    [[nodiscard]] bool operator>(const Entry& o) const {
       return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;
+  /// Pending events, indexed by Entry::slot. A deque keeps existing events
+  /// in place while the slab grows.
+  std::deque<SimEvent> slots_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 0;
   std::size_t peak_size_ = 0;
 };

@@ -52,21 +52,37 @@ void HostFlowLayer::add_traffic(const traffic::TrafficMatrix& matrix) {
 
 void HostFlowLayer::schedule_message(std::size_t pair_index) {
   Pair& pair = *pairs_[pair_index];
-  net_.simulator().schedule_in(pair.arrivals.next_gap(), [this, pair_index] {
-    Pair& p = *pairs_[pair_index];
-    Message msg;
-    msg.id = ++next_message_id_;
-    // Shifted-exponential message sizes, truncated to the 8-packet cap.
-    const double cap = cfg_.packet_bits_max * kMaxPacketsPerMessage;
-    msg.bits = std::min(64.0 + p.size_rng.exponential(cfg_.mean_message_bits - 64.0), cap);
-    msg.packet_count =
-        std::max(1, static_cast<int>(std::ceil(msg.bits / cfg_.packet_bits_max)));
-    msg.submitted = net_.now();
-    ++messages_offered_;
-    p.backlog.push_back(msg);
-    try_send(p);
-    schedule_message(pair_index);
-  });
+  net_.simulator().schedule_in(
+      pair.arrivals.next_gap(),
+      SimEvent::host_flow_message(*this,
+                                  static_cast<std::uint32_t>(pair_index)));
+}
+
+void HostFlowLayer::handle_event(SimEvent& ev) {
+  switch (ev.kind) {
+    case SimEvent::Kind::kHostFlowMessage: {
+      Pair& p = *pairs_[ev.index];
+      Message msg;
+      msg.id = ++next_message_id_;
+      // Shifted-exponential message sizes, truncated to the 8-packet cap.
+      const double cap = cfg_.packet_bits_max * kMaxPacketsPerMessage;
+      msg.bits = std::min(
+          64.0 + p.size_rng.exponential(cfg_.mean_message_bits - 64.0), cap);
+      msg.packet_count = std::max(
+          1, static_cast<int>(std::ceil(msg.bits / cfg_.packet_bits_max)));
+      msg.submitted = net_.now();
+      ++messages_offered_;
+      p.backlog.push_back(msg);
+      try_send(p);
+      schedule_message(ev.index);
+      break;
+    }
+    case SimEvent::Kind::kHostFlowTimeout:
+      on_timeout(ev.index, ev.id, ev.generation);
+      break;
+    default:
+      throw std::logic_error("host-flow layer dispatched unknown event kind");
+  }
 }
 
 void HostFlowLayer::try_send(Pair& pair) {
@@ -98,22 +114,28 @@ void HostFlowLayer::transmit_message(Pair& pair, const Message& msg) {
 void HostFlowLayer::arm_timeout(std::size_t pair_index, std::uint64_t message_id,
                                 int retransmit_generation) {
   net_.simulator().schedule_in(
-      cfg_.rfnm_timeout, [this, pair_index, message_id, retransmit_generation] {
-        Pair& pair = *pairs_[pair_index];
-        const auto it = pair.outstanding.find(message_id);
-        if (it == pair.outstanding.end()) return;  // acked meanwhile
-        if (it->second.retransmits != retransmit_generation) return;  // stale
-        if (it->second.retransmits >= cfg_.max_retransmits) {
-          ++messages_abandoned_;
-          pair.outstanding.erase(it);
-          try_send(pair);
-          return;
-        }
-        ++it->second.retransmits;
-        ++retransmissions_;
-        transmit_message(pair, it->second);
-        arm_timeout(pair_index, message_id, it->second.retransmits);
-      });
+      cfg_.rfnm_timeout,
+      SimEvent::host_flow_timeout(*this,
+                                  static_cast<std::uint32_t>(pair_index),
+                                  message_id, retransmit_generation));
+}
+
+void HostFlowLayer::on_timeout(std::size_t pair_index, std::uint64_t message_id,
+                               int retransmit_generation) {
+  Pair& pair = *pairs_[pair_index];
+  const auto it = pair.outstanding.find(message_id);
+  if (it == pair.outstanding.end()) return;  // acked meanwhile
+  if (it->second.retransmits != retransmit_generation) return;  // stale
+  if (it->second.retransmits >= cfg_.max_retransmits) {
+    ++messages_abandoned_;
+    pair.outstanding.erase(it);
+    try_send(pair);
+    return;
+  }
+  ++it->second.retransmits;
+  ++retransmissions_;
+  transmit_message(pair, it->second);
+  arm_timeout(pair_index, message_id, it->second.retransmits);
 }
 
 void HostFlowLayer::on_delivered(const Packet& pkt) {

@@ -44,7 +44,7 @@ struct HostFlowConfig {
   double rfnm_bits = 152.0;           ///< RFNM wire size
 };
 
-class HostFlowLayer {
+class HostFlowLayer : public EventSink {
  public:
   /// Attaches to `net` (installs the delivery hook; the layer must outlive
   /// the network run). Call add_traffic() for each pair, then run the
@@ -72,6 +72,10 @@ class HostFlowLayer {
   /// Completed payload bits per second over the run so far.
   [[nodiscard]] double goodput_bps() const;
 
+  /// Typed-event dispatch: message arrivals and RFNM timeouts (sim/event.h)
+  /// — the layer's recurring events schedule without allocation.
+  void handle_event(SimEvent& ev) override;
+
  private:
   struct Message {
     std::uint64_t id = 0;
@@ -95,6 +99,8 @@ class HostFlowLayer {
   void transmit_message(Pair& pair, const Message& msg);
   void arm_timeout(std::size_t pair_index, std::uint64_t message_id,
                    int retransmit_generation);
+  void on_timeout(std::size_t pair_index, std::uint64_t message_id,
+                  int retransmit_generation);
   void on_delivered(const Packet& pkt);
 
   Network& net_;

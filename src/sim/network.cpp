@@ -75,12 +75,37 @@ void Network::add_traffic(const traffic::TrafficMatrix& matrix) {
 
 void Network::schedule_arrival(std::size_t source_index) {
   Source& src = *sources_[source_index];
-  sim_.schedule_in(src.process.next_gap(), [this, source_index] {
-    if (!traffic_enabled_) return;  // stop_traffic(): let the queues drain
-    Source& s = *sources_[source_index];
-    psns_[s.src]->originate_data(s.dst, sizer_.sample(s.size_rng));
-    schedule_arrival(source_index);
-  });
+  sim_.schedule_in(
+      src.process.next_gap(),
+      SimEvent::source_tick(*this, static_cast<std::uint32_t>(source_index)));
+}
+
+void Network::handle_event(SimEvent& ev) {
+  switch (ev.kind) {
+    case SimEvent::Kind::kSourceTick: {
+      if (!traffic_enabled_) break;  // stop_traffic(): let the queues drain
+      Source& s = *sources_[ev.index];
+      psns_[s.src]->originate_data(s.dst, sizer_.sample(s.size_rng));
+      schedule_arrival(ev.index);
+      break;
+    }
+    case SimEvent::Kind::kPropagationArrival:
+      psns_[topo_->link(ev.link).to]->receive(ev.packet, ev.link);
+      break;
+    case SimEvent::Kind::kTransmitComplete:
+      psns_[ev.index]->on_transmit_complete(ev.link, ev.t1, ev.t2, ev.flag,
+                                            ev.packet);
+      break;
+    case SimEvent::Kind::kMeasurementPeriod:
+      psns_[ev.index]->measurement_period();
+      break;
+    case SimEvent::Kind::kDvTick:
+      psns_[ev.index]->dv_tick();
+      break;
+    default:
+      ARPA_CHECK(false) << "network dispatched unknown event kind "
+                        << static_cast<int>(ev.kind);
+  }
 }
 
 void Network::run_for(util::SimTime duration) { run_until(sim_.now() + duration); }
@@ -163,11 +188,9 @@ void Network::on_period_measured(net::LinkId link, double previous,
   }
 }
 
-void Network::deliver_to_peer(net::LinkId link, Packet pkt) {
-  const net::Link& l = topo_->link(link);
-  sim_.schedule_in(l.prop_delay, [this, to = l.to, link, p = std::move(pkt)]() mutable {
-    psns_[to]->receive(std::move(p), link);
-  });
+void Network::deliver_to_peer(net::LinkId link, PacketHandle pkt) {
+  sim_.schedule_in(topo_->link(link).prop_delay,
+                   SimEvent::propagation_arrival(*this, link, pkt));
 }
 
 double Network::link_utilization(net::LinkId id, std::size_t bucket) const {
@@ -218,6 +241,9 @@ obs::Counters Network::counters() const {
   }
   c.events_processed = sim_.events_processed();
   c.event_queue_peak_depth = sim_.queue_peak_depth();
+  c.packet_pool_slots = pool_.slots();
+  c.packet_pool_acquired = pool_.acquired();
+  c.packet_pool_recycled = pool_.recycled();
   return c;
 }
 

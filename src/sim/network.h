@@ -28,6 +28,8 @@
 #include "src/obs/counters.h"
 #include "src/obs/trace_sink.h"
 #include "src/routing/routing_table.h"
+#include "src/sim/event.h"
+#include "src/sim/packet_pool.h"
 #include "src/sim/packet_trace.h"
 #include "src/sim/psn.h"
 #include "src/sim/simulator.h"
@@ -107,7 +109,7 @@ struct NetworkStats {
   long update_packets_sent = 0;  ///< flooded transmissions (overhead)
 };
 
-class Network {
+class Network : public EventSink {
  public:
   Network(const net::Topology& topo, NetworkConfig cfg);
   ~Network();
@@ -230,6 +232,13 @@ class Network {
   void on_data_packet_sent() { ++counters_.packets_forwarded; }
   void on_transmission(net::LinkId link, util::SimTime busy);
   void on_cost_reported(net::LinkId link, double cost);
+  /// Typed-event dispatch (sim/event.h): source ticks, propagation
+  /// arrivals, transmit completions and the per-node timers all route
+  /// through here — one switch, no per-event allocation.
+  void handle_event(SimEvent& ev) override;
+  /// The pooled packet slab every in-flight packet lives in; hot paths pass
+  /// PacketHandle indices instead of moving Packet structs.
+  [[nodiscard]] PacketPool& packet_pool() { return pool_; }
   /// One measurement period closed on `link`: `previous` and `candidate`
   /// are the metric's consecutive per-period costs (kDownLinkCost while the
   /// link is down), `busy_fraction` the period's transmitter utilization.
@@ -238,7 +247,7 @@ class Network {
   /// limits every period's move, reported or not) and feeds the trace sink.
   void on_period_measured(net::LinkId link, double previous, double candidate,
                           double busy_fraction);
-  void deliver_to_peer(net::LinkId link, Packet pkt);
+  void deliver_to_peer(net::LinkId link, PacketHandle pkt);
   [[nodiscard]] std::uint64_t next_packet_id() { return ++packet_id_; }
 
  private:
@@ -254,6 +263,7 @@ class Network {
   NetworkConfig cfg_;
   std::shared_ptr<const metrics::MetricFactory> factory_;
   Simulator sim_;
+  PacketPool pool_;
   util::Rng rng_;
   traffic::PacketSizer sizer_;
   std::vector<std::unique_ptr<Psn>> psns_;

@@ -57,7 +57,7 @@ void Psn::start() {
     const util::SimTime period = net_.config().dv_exchange_period;
     const util::SimTime offset = util::SimTime::from_us(
         period.us() * (static_cast<std::int64_t>(id_) % 16) / 16);
-    net_.simulator().schedule_in(period + offset, [this] { dv_tick(); });
+    net_.simulator().schedule_in(period + offset, SimEvent::dv_tick(net_, id_));
     return;
   }
   // Measurement periods are staggered across nodes (the real PSNs' clocks
@@ -67,7 +67,8 @@ void Psn::start() {
   const auto nodes = static_cast<std::int64_t>(net_.topology().node_count());
   const util::SimTime offset = util::SimTime::from_us(
       period.us() * (static_cast<std::int64_t>(id_) % nodes) / std::max<std::int64_t>(nodes, 1));
-  net_.simulator().schedule_in(period + offset, [this] { measurement_period(); });
+  net_.simulator().schedule_in(period + offset,
+                               SimEvent::measurement_period(net_, id_));
 }
 
 Psn::OutLink& Psn::out_for(net::LinkId link) {
@@ -85,7 +86,9 @@ double Psn::reported_cost(net::LinkId out_link) const {
 }
 
 void Psn::originate_data(net::NodeId dst, double bits) {
-  Packet pkt;
+  PacketPool& pool = net_.packet_pool();
+  const PacketHandle h = pool.acquire();
+  Packet& pkt = pool.at(h);
   pkt.id = net_.next_packet_id();
   pkt.kind = Packet::Kind::kData;
   pkt.src = id_;
@@ -94,31 +97,37 @@ void Psn::originate_data(net::NodeId dst, double bits) {
   pkt.created = net_.now();
   net_.on_generated();
   net_.trace(TraceEventKind::kOriginated, pkt, id_);
-  forward(std::move(pkt));
+  forward(h);
 }
 
 void Psn::originate_packet(Packet pkt) {
-  pkt.id = net_.next_packet_id();
-  pkt.src = id_;
-  pkt.created = net_.now();
+  PacketPool& pool = net_.packet_pool();
+  const PacketHandle h = pool.acquire(std::move(pkt));
+  Packet& p = pool.at(h);
+  p.id = net_.next_packet_id();
+  p.src = id_;
+  p.created = net_.now();
   net_.on_generated();
-  net_.trace(TraceEventKind::kOriginated, pkt, id_);
-  forward(std::move(pkt));
+  net_.trace(TraceEventKind::kOriginated, p, id_);
+  forward(h);
 }
 
-void Psn::receive(Packet pkt, net::LinkId via_link) {
+void Psn::receive(PacketHandle h, net::LinkId via_link) {
+  PacketPool& pool = net_.packet_pool();
+  Packet& pkt = pool.at(h);
   ++pkt.hops;
   if (pkt.kind == Packet::Kind::kRoutingUpdate) {
-    handle_update(std::move(pkt), via_link);
+    handle_update(h, via_link);
     return;
   }
   if (pkt.kind == Packet::Kind::kDistanceVector) {
-    handle_distance_vector(pkt, via_link);
+    handle_distance_vector(h, via_link);
     return;
   }
   if (pkt.dst == id_) {
     net_.trace(TraceEventKind::kDelivered, pkt, id_, via_link);
     net_.on_delivered(pkt);
+    pool.release(h);
     return;
   }
   // A hop budget keeps packets finite under the 1969 algorithm's transient
@@ -127,12 +136,14 @@ void Psn::receive(Packet pkt, net::LinkId via_link) {
   if (pkt.hops >= net_.config().hop_limit) {
     net_.trace(TraceEventKind::kDroppedLoop, pkt, id_, via_link);
     net_.on_loop_drop(pkt);
+    pool.release(h);
     return;
   }
-  forward(std::move(pkt));
+  forward(h);
 }
 
-void Psn::forward(Packet&& pkt) {
+void Psn::forward(PacketHandle h) {
+  Packet& pkt = net_.packet_pool().at(h);
   net::LinkId next = net::kInvalidLink;
   if (net_.config().algorithm == routing::RoutingAlgorithm::kDistanceVector) {
     next = dv_next_[pkt.dst];
@@ -159,30 +170,33 @@ void Psn::forward(Packet&& pkt) {
   if (next == net::kInvalidLink) {
     net_.trace(TraceEventKind::kDroppedUnreachable, pkt, id_);
     net_.on_unreachable_drop(pkt);
+    net_.packet_pool().release(h);
     return;
   }
-  enqueue(out_for(next), std::move(pkt), /*priority=*/false);
+  enqueue(out_for(next), h, /*priority=*/false);
 }
 
-void Psn::enqueue(OutLink& out, Packet&& pkt, bool priority) {
+void Psn::enqueue(OutLink& out, PacketHandle h, bool priority) {
+  const Packet& pkt = net_.packet_pool().at(h);
   if (priority) {
     net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
-    out.update_q.push_back(Queued{std::move(pkt), net_.now()});
+    out.update_q.push_back(Queued{h, net_.now()});
   } else {
     if (static_cast<int>(out.data_q.size()) >= net_.config().queue_capacity) {
       net_.trace(TraceEventKind::kDroppedQueue, pkt, id_, out.id);
       net_.on_queue_drop(pkt);
+      net_.packet_pool().release(h);
       return;
     }
     net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
-    out.data_q.push_back(Queued{std::move(pkt), net_.now()});
+    out.data_q.push_back(Queued{h, net_.now()});
   }
   maybe_start_tx(out);
 }
 
 void Psn::maybe_start_tx(OutLink& out) {
   if (out.busy || !out.up) return;
-  std::deque<Queued>* q = nullptr;
+  RingQueue<Queued>* q = nullptr;
   if (!out.update_q.empty()) {
     q = &out.update_q;
   } else if (!out.data_q.empty()) {
@@ -191,50 +205,62 @@ void Psn::maybe_start_tx(OutLink& out) {
     return;
   }
 
-  Queued item = std::move(q->front());
+  const Queued item = q->front();
   q->pop_front();
   out.busy = true;
 
   const net::Link& link = net_.topology().link(out.id);
+  const Packet& pkt = net_.packet_pool().at(item.pkt);
   const util::SimTime queue_delay = net_.now() - item.enqueued;
-  const util::SimTime tx = link.rate.transmission_time(item.pkt.bits);
-  const net::LinkId lid = out.id;
+  const util::SimTime tx = link.rate.transmission_time(pkt.bits);
   // Both update kinds (flooded link costs, distance vectors) count as
   // routing overhead.
-  const bool is_update = item.pkt.kind != Packet::Kind::kData;
+  const bool is_update = pkt.kind != Packet::Kind::kData;
 
+  // The packet rides the typed completion event; no closure, no copy.
   net_.simulator().schedule_in(
-      tx, [this, lid, queue_delay, tx, is_update,
-           pkt = std::move(item.pkt)]() mutable {
-        OutLink& o = out_for(lid);
-        o.meas.record_packet(queue_delay, tx);
-        net_.on_transmission(lid, tx);
-        net_.trace(TraceEventKind::kTransmitted, pkt, id_, lid);
-        if (is_update) {
-          net_.on_update_packet_sent();
-        } else {
-          net_.on_data_packet_sent();
-        }
-        // Hand the packet to the propagation medium; it arrives at the
-        // neighbor prop_delay later (Network routes it to the peer PSN).
-        net_.deliver_to_peer(lid, std::move(pkt));
-        o.busy = false;
-        maybe_start_tx(o);
-      });
+      tx, SimEvent::transmit_complete(net_, id_, out.id, item.pkt, queue_delay,
+                                      tx, is_update));
 }
 
-void Psn::handle_update(Packet&& pkt, net::LinkId via_link) {
-  if (!pkt.update) throw std::logic_error("update packet without payload");
-  if (!flood_state_.accept(*pkt.update)) return;  // duplicate
-  for (const routing::LinkCostReport& r : pkt.update->reports) {
+void Psn::on_transmit_complete(net::LinkId link, util::SimTime queue_delay,
+                               util::SimTime tx_time, bool is_update,
+                               PacketHandle pkt) {
+  OutLink& o = out_for(link);
+  o.meas.record_packet(queue_delay, tx_time);
+  net_.on_transmission(link, tx_time);
+  net_.trace(TraceEventKind::kTransmitted, net_.packet_pool().at(pkt), id_,
+             link);
+  if (is_update) {
+    net_.on_update_packet_sent();
+  } else {
+    net_.on_data_packet_sent();
+  }
+  // Hand the packet to the propagation medium; it arrives at the neighbor
+  // prop_delay later (Network routes it to the peer PSN).
+  net_.deliver_to_peer(link, pkt);
+  o.busy = false;
+  maybe_start_tx(o);
+}
+
+void Psn::handle_update(PacketHandle h, net::LinkId via_link) {
+  PacketPool& pool = net_.packet_pool();
+  // Keep the shared payload alive past the slot's release.
+  const std::shared_ptr<const routing::RoutingUpdate> update =
+      std::move(pool.at(h).update);
+  pool.release(h);
+  if (!update) throw std::logic_error("update packet without payload");
+  if (!flood_state_.accept(*update)) return;  // duplicate
+  for (const routing::LinkCostReport& r : update->reports) {
     spf_.set_cost(r.link, r.cost);
   }
   mp_dirty_ = true;
-  flood_copies(pkt.update, via_link);
+  flood_copies(update, via_link);
 }
 
 void Psn::measurement_period() {
-  std::vector<double> candidates(out_.size());
+  candidate_scratch_.assign(out_.size(), 0.0);
+  std::span<double> candidates{candidate_scratch_};
   bool significant = false;
   for (std::size_t i = 0; i < out_.size(); ++i) {
     OutLink& o = out_[i];
@@ -249,10 +275,10 @@ void Psn::measurement_period() {
   if (significant) originate_update(candidates);
 
   net_.simulator().schedule_in(net_.config().measurement_period,
-                               [this] { measurement_period(); });
+                               SimEvent::measurement_period(net_, id_));
 }
 
-void Psn::originate_update(const std::vector<double>& candidates) {
+void Psn::originate_update(std::span<const double> candidates) {
   auto update = std::make_shared<routing::RoutingUpdate>();
   update->origin = id_;
   update->seq = ++seq_;
@@ -290,14 +316,16 @@ void Psn::flood_copies(
           : net_.topology().link(arrived_on).reverse;
   for (OutLink& o : out_) {
     if (o.id == except) continue;
-    Packet pkt;
+    PacketPool& pool = net_.packet_pool();
+    const PacketHandle h = pool.acquire();
+    Packet& pkt = pool.at(h);
     pkt.id = net_.next_packet_id();
     pkt.kind = Packet::Kind::kRoutingUpdate;
     pkt.src = update->origin;
     pkt.bits = update->wire_bits();
     pkt.created = net_.now();
     pkt.update = update;
-    enqueue(o, std::move(pkt), /*priority=*/true);
+    enqueue(o, h, /*priority=*/true);
   }
 }
 
@@ -315,7 +343,7 @@ void Psn::dv_tick() {
   dv_recompute();
   dv_advertise();
   net_.simulator().schedule_in(net_.config().dv_exchange_period,
-                               [this] { dv_tick(); });
+                               SimEvent::dv_tick(net_, id_));
 }
 
 void Psn::dv_recompute() {
@@ -346,23 +374,28 @@ void Psn::dv_advertise() {
   ++updates_originated_;
   net_.on_update_originated();
   for (OutLink& o : out_) {
-    Packet pkt;
+    PacketPool& pool = net_.packet_pool();
+    const PacketHandle h = pool.acquire();
+    Packet& pkt = pool.at(h);
     pkt.id = net_.next_packet_id();
     pkt.kind = Packet::Kind::kDistanceVector;
     pkt.src = id_;
     pkt.bits = advert->wire_bits();
     pkt.created = net_.now();
     pkt.dv = advert;
-    enqueue(o, std::move(pkt), /*priority=*/true);
+    enqueue(o, h, /*priority=*/true);
   }
 }
 
-void Psn::handle_distance_vector(const Packet& pkt, net::LinkId via_link) {
-  if (!pkt.dv) throw std::logic_error("distance-vector packet without payload");
+void Psn::handle_distance_vector(PacketHandle h, net::LinkId via_link) {
+  PacketPool& pool = net_.packet_pool();
+  const std::shared_ptr<const DistanceVector> dv = std::move(pool.at(h).dv);
+  pool.release(h);
+  if (!dv) throw std::logic_error("distance-vector packet without payload");
   const net::LinkId out_link = net_.topology().link(via_link).reverse;
   for (std::size_t i = 0; i < out_.size(); ++i) {
     if (out_[i].id == out_link) {
-      dv_neighbor_[i] = pkt.dv->dist;
+      dv_neighbor_[i] = dv->dist;
       // The original algorithm re-minimized on new information.
       dv_recompute();
       return;

@@ -14,8 +14,8 @@
 
 #pragma once
 
-#include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/metrics/delay_measurement.h"
@@ -26,7 +26,9 @@
 #include "src/routing/multipath.h"
 #include "src/routing/significance.h"
 #include "src/routing/spf.h"
+#include "src/sim/event.h"
 #include "src/sim/packet.h"
+#include "src/sim/ring_queue.h"
 
 namespace arpanet::sim {
 
@@ -46,9 +48,19 @@ class Psn {
   /// the caller); the PSN stamps id/src/created and forwards it.
   void originate_packet(Packet pkt);
 
-  /// A packet arrives from a neighbor over `via_link` (an in-link of this
-  /// node).
-  void receive(Packet pkt, net::LinkId via_link);
+  /// A pooled packet arrives from a neighbor over `via_link` (an in-link of
+  /// this node). Ownership of the handle transfers to the PSN.
+  void receive(PacketHandle pkt, net::LinkId via_link);
+
+  // ---- typed-event completions (called by Network::handle_event) ----
+  /// The transmitter on `link` finished serializing the pooled packet.
+  void on_transmit_complete(net::LinkId link, util::SimTime queue_delay,
+                            util::SimTime tx_time, bool is_update,
+                            PacketHandle pkt);
+  /// The 10-second measurement-period timer fired.
+  void measurement_period();
+  /// The 1969 distance-vector exchange timer fired.
+  void dv_tick();
 
   [[nodiscard]] net::NodeId id() const { return id_; }
   [[nodiscard]] const routing::SpfTree& tree() const { return spf_.tree(); }
@@ -78,15 +90,17 @@ class Psn {
   static constexpr double kUnreachable = 1e9;
 
  private:
+  /// One waiting pooled packet: the queues move 16-byte records, never the
+  /// Packet structs themselves.
   struct Queued {
-    Packet pkt;
+    PacketHandle pkt = kInvalidPacketHandle;
     util::SimTime enqueued;
   };
 
   struct OutLink {
     net::LinkId id = net::kInvalidLink;
-    std::deque<Queued> data_q;
-    std::deque<Queued> update_q;
+    RingQueue<Queued> data_q;
+    RingQueue<Queued> update_q;
     bool busy = false;
     bool up = true;
     metrics::DelayMeasurement meas;
@@ -104,22 +118,20 @@ class Psn {
           filter{std::move(f)}, reported{initial}, last_candidate{initial} {}
   };
 
-  void measurement_period();
-  void forward(Packet&& pkt);
-  void enqueue(OutLink& out, Packet&& pkt, bool priority);
+  void forward(PacketHandle pkt);
+  void enqueue(OutLink& out, PacketHandle pkt, bool priority);
   void maybe_start_tx(OutLink& out);
-  void handle_update(Packet&& pkt, net::LinkId via_link);
-  void originate_update(const std::vector<double>& candidates);
+  void handle_update(PacketHandle pkt, net::LinkId via_link);
+  void originate_update(std::span<const double> candidates);
   void flood_copies(const std::shared_ptr<const routing::RoutingUpdate>& update,
                     net::LinkId arrived_on);
   OutLink& out_for(net::LinkId link);
 
   // --- the 1969 distance-vector mode ---
-  void dv_tick();
   void dv_recompute();
   void dv_advertise();
   [[nodiscard]] double dv_link_metric(const OutLink& out) const;
-  void handle_distance_vector(const Packet& pkt, net::LinkId via_link);
+  void handle_distance_vector(PacketHandle pkt, net::LinkId via_link);
 
   Network& net_;
   net::NodeId id_;
@@ -128,6 +140,9 @@ class Psn {
   std::vector<OutLink> out_;
   std::uint64_t seq_ = 0;
   long updates_originated_ = 0;
+  /// Scratch for measurement_period's per-link candidate costs; persistent
+  /// so closing a period allocates nothing at steady state.
+  std::vector<double> candidate_scratch_;
 
   // Distance-vector state (used only under RoutingAlgorithm::kDistanceVector):
   // own estimates, chosen next hops, and each neighbor's last advertisement

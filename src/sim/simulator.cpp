@@ -1,14 +1,15 @@
 #include "src/sim/simulator.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/util/check.h"
 
 namespace arpanet::sim {
 
-void Simulator::schedule_at(util::SimTime at, EventQueue::Action action) {
+void Simulator::schedule_at(util::SimTime at, SimEvent ev) {
   if (at < now_) throw std::logic_error("scheduling into the past");
-  queue_.schedule(at, std::move(action));
+  queue_.schedule(at, std::move(ev));
 }
 
 void Simulator::run_until(util::SimTime end) {
@@ -21,14 +22,14 @@ void Simulator::run_until(util::SimTime end) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   util::SimTime at;
-  const EventQueue::Action action = queue_.pop(at);
+  SimEvent ev = queue_.pop(at);
   // The virtual clock never runs backwards: schedule_at rejects past times,
   // and the heap pops in (time, seq) order.
   ARPA_DCHECK(at >= now_) << "event queue popped " << at.us()
                           << "us behind the clock " << now_.us() << "us";
   now_ = at;
   ++processed_;
-  action();
+  ev.fire();
   return true;
 }
 

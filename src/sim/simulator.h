@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
+#include "src/sim/event.h"
 #include "src/sim/event_queue.h"
 #include "src/util/units.h"
 
@@ -13,11 +15,24 @@ class Simulator {
  public:
   [[nodiscard]] util::SimTime now() const { return now_; }
 
-  /// Schedules at an absolute time (must not be in the past).
-  void schedule_at(util::SimTime at, EventQueue::Action action);
-  /// Schedules `delay` from now.
-  void schedule_in(util::SimTime delay, EventQueue::Action action) {
-    schedule_at(now_ + delay, std::move(action));
+  /// Schedules a typed event at an absolute time (must not be in the past).
+  void schedule_at(util::SimTime at, SimEvent ev);
+  /// Schedules a typed event `delay` from now.
+  void schedule_in(util::SimTime delay, SimEvent ev) {
+    schedule_at(now_ + delay, std::move(ev));
+  }
+
+  /// Callable convenience overloads (rare/test-only events; recurring kinds
+  /// should use the allocation-free typed constructors in sim/event.h).
+  template <typename F>
+    requires std::invocable<std::remove_cvref_t<F>&>
+  void schedule_at(util::SimTime at, F&& f) {
+    schedule_at(at, SimEvent::callback(SmallFn{std::forward<F>(f)}));
+  }
+  template <typename F>
+    requires std::invocable<std::remove_cvref_t<F>&>
+  void schedule_in(util::SimTime delay, F&& f) {
+    schedule_at(now_ + delay, SimEvent::callback(SmallFn{std::forward<F>(f)}));
   }
 
   /// Runs events until the queue is empty or the next event is later than

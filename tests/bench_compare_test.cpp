@@ -1,0 +1,157 @@
+// The benchmark trend checker (src/obs/bench_compare.h): schema gating,
+// deterministic-work diffs, and the events_per_sec noise band.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/obs/bench_compare.h"
+#include "src/obs/bench_report.h"
+
+namespace arpanet::obs {
+namespace {
+
+/// A minimal two-cell document in the real writer's shape. `rate` scales
+/// both cells' events_per_sec; `events` sets the first cell's event count.
+std::string doc(double rate, long events = 1000) {
+  std::ostringstream os;
+  os << R"({
+  "schema": "arpanet-bench-metrics",
+  "schema_version": 1,
+  "battery": "smoke",
+  "elapsed_sec": 1.5,
+  "scenarios": [
+    {
+      "topology": "ring6",
+      "metric": "HN-SPF",
+      "spf": { "full": 6, "incremental": 120 },
+      "packets": { "generated": 400, "delivered": 398 },
+      "events": )"
+     << events << R"(,
+      "wall_sec": 0.5,
+      "events_per_sec": )"
+     << rate << R"(
+    },
+    {
+      "topology": "ring6",
+      "metric": "D-SPF",
+      "spf": { "full": 6, "incremental": 95 },
+      "packets": { "generated": 400, "delivered": 391 },
+      "events": 900,
+      "wall_sec": 0.4,
+      "events_per_sec": )"
+     << rate * 0.9 << R"(
+    }
+  ]
+})";
+  return os.str();
+}
+
+TEST(BenchCompareTest, IdenticalDocumentsPass) {
+  const CompareReport r = compare_bench_reports(doc(1e6), doc(1e6));
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.cells.size(), 2u);
+  EXPECT_EQ(r.cells[0].topology, "ring6");
+  EXPECT_EQ(r.cells[0].metric, "HN-SPF");
+  EXPECT_DOUBLE_EQ(r.cells[0].ratio, 1.0);
+}
+
+TEST(BenchCompareTest, SlowdownWithinNoiseBandPasses) {
+  CompareOptions opt;
+  opt.rate_noise = 0.10;
+  const CompareReport r = compare_bench_reports(doc(1e6), doc(0.95e6), opt);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(BenchCompareTest, SlowdownBeyondNoiseBandFails) {
+  CompareOptions opt;
+  opt.rate_noise = 0.10;
+  const CompareReport r = compare_bench_reports(doc(1e6), doc(0.8e6), opt);
+  EXPECT_FALSE(r.ok());
+  // Both cells regressed by 20%.
+  EXPECT_EQ(r.violations.size(), 2u);
+  EXPECT_NE(r.violations[0].find("events_per_sec"), std::string::npos);
+}
+
+TEST(BenchCompareTest, SpeedupAlwaysPasses) {
+  const CompareReport r = compare_bench_reports(doc(1e6), doc(2e6));
+  EXPECT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.cells[0].ratio, 2.0);
+}
+
+TEST(BenchCompareTest, DeterministicWorkDriftFailsEvenWhenFaster) {
+  // The event count changed: the simulation itself changed, which no noise
+  // band excuses (work_noise defaults to exact).
+  const CompareReport r =
+      compare_bench_reports(doc(1e6, 1000), doc(2e6, 1001));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("events"), std::string::npos);
+}
+
+TEST(BenchCompareTest, WorkNoiseAllowsBoundedDrift) {
+  CompareOptions opt;
+  opt.work_noise = 0.01;
+  const CompareReport r =
+      compare_bench_reports(doc(1e6, 1000), doc(1e6, 1005), opt);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(BenchCompareTest, MaskedBaselineSkipsTheRateCheck) {
+  // A golden-style masked baseline has events_per_sec 0. Wall-derived
+  // fields are excluded from the work diff, so the comparison passes on the
+  // deterministic fields alone and the rate ratio is marked unavailable.
+  const CompareReport r = compare_bench_reports(doc(0.0), doc(5e6));
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  ASSERT_EQ(r.cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.cells[0].ratio, 0.0);
+}
+
+TEST(BenchCompareTest, BatteryMismatchIsAViolation) {
+  std::string other = doc(1e6);
+  other.replace(other.find("\"smoke\""), 7, "\"battery\"");
+  const CompareReport r = compare_bench_reports(doc(1e6), other);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("battery"), std::string::npos);
+}
+
+TEST(BenchCompareTest, WrongSchemaThrows) {
+  std::string bad = doc(1e6);
+  bad.replace(bad.find("arpanet-bench-metrics"), 21, "some-other-document42");
+  EXPECT_THROW((void)compare_bench_reports(bad, doc(1e6)),
+               std::invalid_argument);
+  EXPECT_THROW((void)compare_bench_reports(doc(1e6), "{ not json"),
+               std::invalid_argument);
+}
+
+TEST(BenchCompareTest, CellSetMismatchIsAViolation) {
+  std::string fewer = doc(1e6);
+  // Drop the second scenario object entirely.
+  const std::size_t cut = fewer.rfind("    {");
+  const std::size_t end = fewer.rfind("    }");
+  fewer.erase(cut - 2, end + 6 - (cut - 2));  // also removes the comma
+  const CompareReport r = compare_bench_reports(doc(1e6), fewer);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BenchCompareTest, RealSmokeBatteryComparesCleanAgainstItself) {
+  const std::string json = run_bench_battery("smoke", /*threads=*/1).json();
+  CompareOptions opt;
+  opt.rate_noise = 0.5;  // same machine, seconds apart
+  const std::string again = run_bench_battery("smoke", /*threads=*/1).json();
+  const CompareReport r = compare_bench_reports(json, again, opt);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_EQ(r.cells.size(), 4u);  // 2 scenarios x 2 metrics
+  for (const CellDelta& d : r.cells) EXPECT_GT(d.ratio, 0.0);
+}
+
+TEST(BenchCompareTest, TextReportNamesEveryCellAndViolation) {
+  const CompareReport r = compare_bench_reports(doc(1e6), doc(0.5e6));
+  std::ostringstream os;
+  r.write_text(os);
+  EXPECT_NE(os.str().find("ring6/HN-SPF"), std::string::npos);
+  EXPECT_NE(os.str().find("VIOLATION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arpanet::obs

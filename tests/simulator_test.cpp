@@ -17,7 +17,7 @@ TEST(EventQueueTest, PopsInTimeOrder) {
   q.schedule(SimTime::from_ms(20), [&] { order.push_back(2); });
   while (!q.empty()) {
     SimTime at;
-    q.pop(at)();
+    q.pop(at).fire();
   }
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -30,7 +30,7 @@ TEST(EventQueueTest, SimultaneousEventsFifo) {
   }
   while (!q.empty()) {
     SimTime at;
-    q.pop(at)();
+    q.pop(at).fire();
   }
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }

@@ -1,0 +1,22 @@
+# CLI smoke test: a smoke-battery document must compare clean against
+# itself through the bench_compare binary (exit 0, OK on stdout).
+execute_process(
+  COMMAND ${BENCH_REPORT} --scenario=smoke --threads=1
+          --out=${CMAKE_CURRENT_BINARY_DIR}/bench_compare_self.json
+  RESULT_VARIABLE report_rc)
+if(NOT report_rc EQUAL 0)
+  message(FATAL_ERROR "bench_report failed with ${report_rc}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_COMPARE}
+          --baseline=${CMAKE_CURRENT_BINARY_DIR}/bench_compare_self.json
+          --current=${CMAKE_CURRENT_BINARY_DIR}/bench_compare_self.json
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR "bench_compare failed with ${compare_rc}: ${out}")
+endif()
+if(NOT out MATCHES "OK")
+  message(FATAL_ERROR "bench_compare did not report OK: ${out}")
+endif()
