@@ -21,27 +21,37 @@ bool is_down_cost(double cost) { return cost == sim::Psn::kDownLinkCost; }
 
 }  // namespace
 
-void check_cost_in_bounds(double cost, double min_cost, double max_cost,
+void check_cost_in_bounds(Cost cost, Cost min_cost, Cost max_cost,
                           const char* what) {
-  ARPA_CHECK(std::isfinite(cost)) << what << " is not finite: " << cost;
-  ARPA_CHECK(cost >= min_cost - kCostSlack)
-      << what << " " << cost << " below line-type minimum " << min_cost;
-  ARPA_CHECK(cost <= max_cost + kCostSlack)
-      << what << " " << cost << " above line-type maximum " << max_cost;
+  const double c = cost.value();
+  const double lo = min_cost.value();
+  const double hi = max_cost.value();
+  ARPA_CHECK(std::isfinite(c)) << what << " is not finite: " << c;
+  ARPA_CHECK(c >= lo - kCostSlack)
+      << what << " " << c << " below line-type minimum " << lo;
+  ARPA_CHECK(c <= hi + kCostSlack)
+      << what << " " << c << " above line-type maximum " << hi;
 }
 
-void check_movement_limited(double previous, double next,
+void check_movement_limited(Cost previous, Cost next,
                             const core::LineTypeParams& params,
                             double extra_slack) {
-  const double up = next - previous;
+  const double from = previous.value();
+  const double to = next.value();
+  const double up = to - from;
   ARPA_CHECK(up <= params.up_limit() + extra_slack + kCostSlack)
-      << "cost rose " << previous << " -> " << next << " (+" << up
+      << "cost rose " << from << " -> " << to << " (+" << up
       << "), above the per-update up limit " << params.up_limit()
       << " (+ slack " << extra_slack << ")";
   ARPA_CHECK(-up <= params.down_limit() + extra_slack + kCostSlack)
-      << "cost fell " << previous << " -> " << next << " (" << up
+      << "cost fell " << from << " -> " << to << " (" << up
       << "), below the per-update down limit " << params.down_limit()
       << " (+ slack " << extra_slack << ")";
+}
+
+void check_utilization_in_range(Utilization u, const char* what) {
+  ARPA_CHECK(std::isfinite(u.value()) && u.value() >= 0.0)
+      << what << " is not a finite non-negative fraction: " << u.value();
 }
 
 void check_flat_region(const core::HnMetric& metric, int samples) {
@@ -51,8 +61,8 @@ void check_flat_region(const core::HnMetric& metric, int samples) {
   for (int i = 0; i < samples; ++i) {
     const double u = static_cast<double>(i) / (samples - 1);
     const double cost = metric.equilibrium_cost(u);
-    check_cost_in_bounds(cost, metric.min_cost(), metric.max_cost(),
-                         "equilibrium cost");
+    check_cost_in_bounds(Cost{cost}, Cost{metric.min_cost()},
+                         Cost{metric.max_cost()}, "equilibrium cost");
     if (u <= threshold) {
       ARPA_CHECK(cost <= metric.min_cost() + kCostSlack)
           << "equilibrium cost " << cost << " at utilization " << u
@@ -168,7 +178,8 @@ AuditStats audit_network(const sim::Network& net) {
     if (!is_down_cost(reported)) {
       if (const auto bounds =
               net.metric_factory().bounds(link, cfg.line_params)) {
-        check_cost_in_bounds(reported, bounds->min_cost, bounds->max_cost);
+        check_cost_in_bounds(Cost{reported}, Cost{bounds->min_cost},
+                             Cost{bounds->max_cost});
       } else {
         ARPA_CHECK(std::isfinite(reported) && reported > 0.0)
             << "link " << link.id << " reported non-positive cost "
@@ -195,7 +206,8 @@ AuditStats audit_network(const sim::Network& net) {
         times.observe(at);
         if (hnspf && previous != kInf && !is_down_cost(previous) &&
             !is_down_cost(cost)) {
-          check_movement_limited(previous, cost, params, threshold);
+          check_movement_limited(Cost{previous}, Cost{cost}, params,
+                                 threshold);
           ++stats.trace_steps_checked;
         }
         previous = cost;

@@ -40,10 +40,36 @@ namespace arpanet::analysis {
 /// beyond this is a real violation, not roundoff.
 inline constexpr double kCostSlack = 1e-6;
 
+/// A routing cost in the metric's units. The check API below used to take
+/// rows of raw doubles — exactly the adjacent-parameter shape
+/// bugprone-easily-swappable-parameters flags, because a caller can pass
+/// (min, cost, max) in the wrong order without any diagnostic. Construction
+/// is explicit; .value() unwraps at the arithmetic boundary.
+class Cost {
+ public:
+  explicit constexpr Cost(double value) : value_{value} {}
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+/// A transmitter utilization: the busy fraction of a measurement period.
+/// Distinct from Cost so a busy fraction can never slide into a cost slot
+/// of the check API (or vice versa) without an explicit construction.
+class Utilization {
+ public:
+  explicit constexpr Utilization(double value) : value_{value} {}
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
 /// Fatal unless `cost` lies in [min_cost - slack, max_cost + slack] —
 /// the absolute-bound invariant of paper section 4.4. `what` names the
 /// checked quantity in the failure message.
-void check_cost_in_bounds(double cost, double min_cost, double max_cost,
+void check_cost_in_bounds(Cost cost, Cost min_cost, Cost max_cost,
                           const char* what = "reported cost");
 
 /// Fatal unless the step from `previous` to `next` obeys the per-update
@@ -51,9 +77,16 @@ void check_cost_in_bounds(double cost, double min_cost, double max_cost,
 /// down. `extra_slack` widens both bounds; network-level report-to-report
 /// checks pass the significance threshold here, because a cost may drift
 /// sub-threshold for several periods before an update carries it.
-void check_movement_limited(double previous, double next,
+void check_movement_limited(Cost previous, Cost next,
                             const core::LineTypeParams& params,
                             double extra_slack = 0.0);
+
+/// Fatal unless `u` is finite and non-negative. There is deliberately no
+/// upper bound: a transmission that straddles a period boundary is
+/// attributed wholly to the period it completes in, so a congested line can
+/// legitimately report a busy fraction slightly above 1.
+void check_utilization_in_range(Utilization u,
+                                const char* what = "utilization");
 
 /// Fatal unless the metric's equilibrium map has the section 4.2 shape:
 /// flat at min_cost() for utilizations below flat_threshold, non-decreasing

@@ -210,7 +210,8 @@ class JsonParser {
 /// Fields derived from host wall time: excluded from the deterministic-work
 /// diff and handled by the noise-band rate check instead.
 bool is_wall_time_field(const std::string& path) {
-  return path == "wall_sec" || path == "events_per_sec";
+  return path == "wall_sec" || path == "events_per_sec" ||
+         path == "ops_per_sec";
 }
 
 /// Flattens every numeric leaf of a cell into ("spf.full", value) pairs, in
@@ -271,14 +272,35 @@ std::string fmt(double v) {
   return os.str();
 }
 
-}  // namespace
+/// Finds a scenario cell by (topology, metric) in a bench document; used to
+/// look up rolling rates, where cell order is not guaranteed to match.
+const JsonValue* find_scenario(const JsonValue& doc,
+                               const std::string& topology,
+                               const std::string& metric) {
+  const JsonValue* arr = doc.find("scenarios");
+  if (arr == nullptr || arr->type != JsonValue::Type::kArray) return nullptr;
+  for (const JsonValue& c : arr->array) {
+    if (string_field(c, "topology") == topology &&
+        string_field(c, "metric") == metric) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
 
-CompareReport compare_bench_reports(const std::string& baseline_json,
-                                    const std::string& current_json,
-                                    const CompareOptions& options) {
-  const JsonValue base = parse_report(baseline_json, "baseline");
-  const JsonValue cur = parse_report(current_json, "current");
+/// Finds a microbenchmark cell by name in a bench document.
+const JsonValue* find_micro(const JsonValue& doc, const std::string& name) {
+  const JsonValue* arr = doc.find("micro");
+  if (arr == nullptr || arr->type != JsonValue::Type::kArray) return nullptr;
+  for (const JsonValue& c : arr->array) {
+    if (string_field(c, "name") == name) return &c;
+  }
+  return nullptr;
+}
 
+CompareReport compare_parsed(const JsonValue& base, const JsonValue& cur,
+                             const JsonValue* rates,
+                             const CompareOptions& options) {
   CompareReport report;
   auto violate = [&report](const std::string& v) {
     report.violations.push_back(v);
@@ -338,12 +360,21 @@ CompareReport compare_bench_reports(const std::string& baseline_json,
       }
     }
 
-    // Throughput: machine-dependent, checked against the noise band.
+    // Throughput: machine-dependent, checked against the noise band. In
+    // rolling mode the band anchors to the rates artifact when it carries
+    // this cell.
     CellDelta delta;
     delta.topology = string_field(b, "topology");
     delta.metric = string_field(b, "metric");
     delta.baseline_events_per_sec = number_field(b, "events_per_sec");
     delta.current_events_per_sec = number_field(c, "events_per_sec");
+    if (rates != nullptr) {
+      const JsonValue* r = find_scenario(*rates, delta.topology, delta.metric);
+      if (r != nullptr && number_field(*r, "events_per_sec") > 0.0) {
+        delta.baseline_events_per_sec = number_field(*r, "events_per_sec");
+        delta.rate_from_artifact = true;
+      }
+    }
     if (delta.baseline_events_per_sec > 0.0) {
       delta.ratio = delta.current_events_per_sec / delta.baseline_events_per_sec;
       if (delta.ratio < 1.0 - options.rate_noise) {
@@ -355,7 +386,80 @@ CompareReport compare_bench_reports(const std::string& baseline_json,
     }
     report.cells.push_back(std::move(delta));
   }
+
+  // Microbenchmark cells: same split — deterministic fields (ops, checksum)
+  // diff exactly, ops_per_sec goes through the noise band.
+  const JsonValue* base_micro = base.find("micro");
+  const JsonValue* cur_micro = cur.find("micro");
+  const std::size_t bn = base_micro != nullptr ? base_micro->array.size() : 0;
+  const std::size_t cn = cur_micro != nullptr ? cur_micro->array.size() : 0;
+  if (bn != cn) {
+    violate("micro cell count mismatch: baseline " + std::to_string(bn) +
+            " vs current " + std::to_string(cn));
+    return report;
+  }
+  for (std::size_t i = 0; i < bn; ++i) {
+    const JsonValue& b = base_micro->array[i];
+    const JsonValue& c = cur_micro->array[i];
+    const std::string name = "micro " + string_field(b, "name");
+    if (string_field(b, "name") != string_field(c, "name")) {
+      violate("micro cell " + std::to_string(i) + ": baseline is " + name +
+              " but current is micro " + string_field(c, "name"));
+      continue;
+    }
+    std::vector<std::pair<std::string, double>> bw;
+    std::vector<std::pair<std::string, double>> cw;
+    flatten_numbers(b, "", bw);
+    flatten_numbers(c, "", cw);
+    if (bw != cw) {
+      violate(name + ": deterministic fields drifted (ops/checksum); the "
+              "workload or pop order changed — regenerate the baseline if "
+              "intentional");
+    }
+    CellDelta delta;
+    delta.topology = string_field(b, "name");
+    delta.metric = "micro";
+    delta.baseline_events_per_sec = number_field(b, "ops_per_sec");
+    delta.current_events_per_sec = number_field(c, "ops_per_sec");
+    if (rates != nullptr) {
+      const JsonValue* r = find_micro(*rates, delta.topology);
+      if (r != nullptr && number_field(*r, "ops_per_sec") > 0.0) {
+        delta.baseline_events_per_sec = number_field(*r, "ops_per_sec");
+        delta.rate_from_artifact = true;
+      }
+    }
+    if (delta.baseline_events_per_sec > 0.0) {
+      delta.ratio = delta.current_events_per_sec / delta.baseline_events_per_sec;
+      if (delta.ratio < 1.0 - options.rate_noise) {
+        violate(name + ": ops_per_sec " + fmt(delta.baseline_events_per_sec) +
+                " -> " + fmt(delta.current_events_per_sec) + " (" +
+                fmt(delta.ratio) + "x, below the " +
+                fmt(1.0 - options.rate_noise) + " floor)");
+      }
+    }
+    report.micro.push_back(std::move(delta));
+  }
   return report;
+}
+
+}  // namespace
+
+CompareReport compare_bench_reports(const std::string& baseline_json,
+                                    const std::string& current_json,
+                                    const CompareOptions& options) {
+  const JsonValue base = parse_report(baseline_json, "baseline");
+  const JsonValue cur = parse_report(current_json, "current");
+  return compare_parsed(base, cur, nullptr, options);
+}
+
+CompareReport compare_bench_reports(const std::string& baseline_json,
+                                    const std::string& current_json,
+                                    const std::string& rates_json,
+                                    const CompareOptions& options) {
+  const JsonValue base = parse_report(baseline_json, "baseline");
+  const JsonValue cur = parse_report(current_json, "current");
+  const JsonValue rates = parse_report(rates_json, "rates");
+  return compare_parsed(base, cur, &rates, options);
 }
 
 void CompareReport::write_text(std::ostream& os) const {
@@ -363,10 +467,18 @@ void CompareReport::write_text(std::ostream& os) const {
     os << d.topology << "/" << d.metric << ": " << fmt(d.baseline_events_per_sec)
        << " -> " << fmt(d.current_events_per_sec) << " ev/s";
     if (d.ratio > 0.0) os << " (" << fmt(d.ratio) << "x)";
+    if (d.rate_from_artifact) os << " [rolling]";
+    os << "\n";
+  }
+  for (const CellDelta& d : micro) {
+    os << "micro " << d.topology << ": " << fmt(d.baseline_events_per_sec)
+       << " -> " << fmt(d.current_events_per_sec) << " ops/s";
+    if (d.ratio > 0.0) os << " (" << fmt(d.ratio) << "x)";
+    if (d.rate_from_artifact) os << " [rolling]";
     os << "\n";
   }
   if (violations.empty()) {
-    os << "bench_compare: OK (" << cells.size() << " cells)\n";
+    os << "bench_compare: OK (" << cells.size() + micro.size() << " cells)\n";
   } else {
     for (const std::string& v : violations) os << "VIOLATION: " << v << "\n";
   }

@@ -45,10 +45,14 @@ struct CellDelta {
   double current_events_per_sec = 0.0;
   /// current / baseline; 0 when the baseline rate is masked.
   double ratio = 0.0;
+  /// True when the baseline rate came from a rolling rates artifact
+  /// (compare_bench_reports' rates_json) instead of the committed baseline.
+  bool rate_from_artifact = false;
 };
 
 struct CompareReport {
   std::vector<CellDelta> cells;
+  std::vector<CellDelta> micro;  ///< microbenchmark cells (ops/sec rates)
   std::vector<std::string> violations;  ///< empty means the check passed
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
@@ -62,5 +66,16 @@ struct CompareReport {
 [[nodiscard]] CompareReport compare_bench_reports(
     const std::string& baseline_json, const std::string& current_json,
     const CompareOptions& options = {});
+
+/// Rolling comparison: deterministic work fields still diff exactly against
+/// `baseline_json` (the committed baseline), but the throughput noise band
+/// is checked against the rates of `rates_json` — a previous run's artifact
+/// from the same machine class (e.g. the last green CI run), which permits
+/// a much tighter band than the cross-machine committed baseline. Cells
+/// absent from the rates document fall back to the committed baseline's
+/// rate. Throws std::invalid_argument on any unparsable document.
+[[nodiscard]] CompareReport compare_bench_reports(
+    const std::string& baseline_json, const std::string& current_json,
+    const std::string& rates_json, const CompareOptions& options = {});
 
 }  // namespace arpanet::obs

@@ -11,6 +11,7 @@
 #include "src/net/builders/builders.h"
 #include "src/obs/json_export.h"
 #include "src/obs/stopwatch.h"
+#include "src/sim/event_queue.h"
 
 namespace arpanet::obs {
 
@@ -49,7 +50,74 @@ BenchCell make_cell(const BenchScenario& scenario, const exp::SweepRun& run) {
   return cell;
 }
 
+/// Discards every event; the microbenchmark never fires what it pops.
+class NullSink final : public sim::EventSink {
+ public:
+  void handle_event(sim::SimEvent& ev) override { (void)ev; }
+};
+
+/// Hold-model workload against a bare sim::EventQueue: prefill, then pop
+/// one / push one at the popped time plus a pseudo-random gap. `wide_every`
+/// > 0 makes every wide_every-th gap land `wide_gap_us` out, driving the
+/// far-future overflow path; 0 keeps every gap inside `gap_us` (the
+/// near-future clustering a real run produces).
+MicroCell run_micro_cell(std::string name, std::uint64_t gap_us,
+                         std::uint64_t wide_every,
+                         std::uint64_t wide_gap_us) {
+  constexpr std::size_t kPrefill = 4096;
+  constexpr std::uint64_t kIterations = 200'000;
+
+  MicroCell cell;
+  cell.name = std::move(name);
+
+  sim::EventQueue q;
+  NullSink sink;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const auto gap = [&](std::uint64_t i) {
+    if (wide_every > 0 && i % wide_every == 0) return next() % wide_gap_us;
+    return next() % gap_us;
+  };
+
+  const Stopwatch stopwatch;
+  for (std::size_t i = 0; i < kPrefill; ++i) {
+    q.schedule(util::SimTime::from_us(static_cast<std::int64_t>(gap(i))),
+               sim::SimEvent::source_tick(sink, static_cast<std::uint32_t>(i)));
+  }
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < kIterations; ++i) {
+    util::SimTime at;
+    const sim::SimEvent ev = q.pop(at);
+    checksum = checksum * 1099511628211ULL ^
+               static_cast<std::uint64_t>(at.us()) ^ ev.index();
+    q.schedule(at + util::SimTime::from_us(static_cast<std::int64_t>(gap(i))),
+               sim::SimEvent::source_tick(
+                   sink, static_cast<std::uint32_t>(i & 0xffff)));
+  }
+  cell.wall_sec = stopwatch.seconds();
+  cell.ops = kPrefill + 2 * kIterations;
+  cell.checksum = checksum;
+  return cell;
+}
+
 }  // namespace
+
+std::vector<MicroCell> run_micro_cells() {
+  std::vector<MicroCell> cells;
+  // Near-future clustering: gaps within 2 ms of the pop frontier, the
+  // distribution transmit completions and propagation arrivals produce.
+  cells.push_back(run_micro_cell("hold_near_future", /*gap_us=*/2000,
+                                 /*wide_every=*/0, /*wide_gap_us=*/0));
+  // Wide span: every 16th gap lands up to 30 s out (measurement-period
+  // territory), exercising the overflow list and window resizes.
+  cells.push_back(run_micro_cell("hold_wide_span", /*gap_us=*/1000,
+                                 /*wide_every=*/16,
+                                 /*wide_gap_us=*/30'000'000));
+  return cells;
+}
 
 std::vector<BenchScenario> bench_battery(const std::string& name) {
   std::vector<BenchScenario> scenarios;
@@ -98,6 +166,7 @@ BenchReport run_bench_battery(const std::string& battery, int threads) {
       report.cells.push_back(make_cell(scenario, run));
     }
   }
+  report.micro = run_micro_cells();
   report.elapsed_sec = stopwatch.seconds();
   return report;
 }
@@ -135,7 +204,13 @@ void BenchReport::write_json(std::ostream& os) const {
     w.member("forwarded", c.counters.packets_forwarded);
     w.member("dropped", c.counters.packets_dropped);
     w.end_object();
-    w.member("event_queue_peak_depth", c.counters.event_queue_peak_depth);
+    w.key("event_queue").begin_object();
+    w.member("peak_depth", c.counters.event_queue_peak_depth);
+    w.member("slab_slots", c.counters.event_queue_slab_slots);
+    w.member("resizes", c.counters.event_queue_resizes);
+    w.member("overflow_scheduled",
+             c.counters.event_queue_overflow_scheduled);
+    w.end_object();
     w.key("invariants").begin_object();
     w.member("period_checks", c.counters.invariant_period_checks);
     w.member("audit_costs_checked",
@@ -151,6 +226,17 @@ void BenchReport::write_json(std::ostream& os) const {
     w.member("events", c.events);
     w.member("wall_sec", c.wall_sec);
     w.member("events_per_sec", c.events_per_sec());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("micro").begin_array();
+  for (const MicroCell& m : micro) {
+    w.begin_object();
+    w.member("name", m.name);
+    w.member("ops", m.ops);
+    w.member("checksum", m.checksum);
+    w.member("wall_sec", m.wall_sec);
+    w.member("ops_per_sec", m.ops_per_sec());
     w.end_object();
   }
   w.end_array();
@@ -183,6 +269,11 @@ std::vector<std::string> BenchReport::validate() const {
     require(c.events > 0, "no events processed");
     require(c.events_per_sec() > 0.0, "events_per_sec is zero");
   }
+  for (const MicroCell& m : micro) {
+    const std::string where = "micro " + m.name + ": ";
+    if (m.ops == 0) errors.push_back(where + "no operations executed");
+    if (m.ops_per_sec() <= 0.0) errors.push_back(where + "ops_per_sec is zero");
+  }
   return errors;
 }
 
@@ -190,7 +281,7 @@ std::string mask_wall_time_fields(const std::string& json) {
   // The writer's formatting is fixed ("key": value, one member per line),
   // so the value extent is everything up to the next comma or newline.
   static const std::regex kWallTime{
-      R"re(("(?:wall_sec|events_per_sec|elapsed_sec)": )[^,\n]*)re"};
+      R"re(("(?:wall_sec|events_per_sec|ops_per_sec|elapsed_sec)": )[^,\n]*)re"};
   return std::regex_replace(json, kWallTime, "$010");
 }
 

@@ -25,8 +25,11 @@ namespace arpanet::obs {
 
 /// JSON document identity; consumers reject documents whose schema pair
 /// they do not understand. Bump the version on any field change.
+/// v2: nested per-cell "event_queue" object (peak_depth, slab_slots,
+/// resizes, overflow_scheduled) replacing the flat event_queue_peak_depth,
+/// plus the top-level "micro" array of event-queue microbenchmark cells.
 inline constexpr const char* kBenchSchemaName = "arpanet-bench-metrics";
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// One benchmark scenario: a topology driven at a fixed offered load. Each
 /// scenario runs once per metric in the battery's metric axis.
@@ -64,10 +67,25 @@ struct BenchCell {
   }
 };
 
+/// One event-queue microbenchmark cell: a synthetic schedule/pop workload
+/// (hold model) driven directly against sim::EventQueue, isolating queue
+/// throughput from the rest of the simulator. `ops` and `checksum` are
+/// deterministic (the golden test pins them); only the rate is wall time.
+struct MicroCell {
+  std::string name;
+  std::uint64_t ops = 0;       ///< schedule + pop operations executed
+  std::uint64_t checksum = 0;  ///< order-sensitive digest of the pop sequence
+  double wall_sec = 0.0;       ///< host time (masked in golden comparisons)
+  [[nodiscard]] double ops_per_sec() const {
+    return wall_sec > 0.0 ? static_cast<double>(ops) / wall_sec : 0.0;
+  }
+};
+
 /// The whole battery's results, in deterministic cell order.
 struct BenchReport {
   std::string battery;
   std::vector<BenchCell> cells;
+  std::vector<MicroCell> micro;  ///< event-queue microbenchmarks
   double elapsed_sec = 0.0;  ///< wall clock of the whole battery
 
   void write_json(std::ostream& os) const;
@@ -91,9 +109,15 @@ struct BenchReport {
 [[nodiscard]] BenchReport run_bench_battery(const std::string& battery,
                                             int threads = 0);
 
+/// Runs the fixed event-queue microbenchmark cells (a near-future hold
+/// model matching the simulator's distribution, and a wide-span variant
+/// that exercises the far-future overflow path). Deterministic except for
+/// the wall-time fields.
+[[nodiscard]] std::vector<MicroCell> run_micro_cells();
+
 /// Replaces the values of wall-time-derived fields (wall_sec,
-/// events_per_sec, elapsed_sec) with 0 so two reports of the same battery
-/// can be compared byte-for-byte.
+/// events_per_sec, ops_per_sec, elapsed_sec) with 0 so two reports of the
+/// same battery can be compared byte-for-byte.
 [[nodiscard]] std::string mask_wall_time_fields(const std::string& json);
 
 }  // namespace arpanet::obs

@@ -7,7 +7,7 @@ namespace arpanet::obs {
 
 namespace {
 
-constexpr std::array<Counters::Entry, 14> kCatalog{{
+constexpr std::array<Counters::Entry, 17> kCatalog{{
     {"spf_full", &Counters::spf_full, Counters::Merge::kSum},
     {"spf_incremental", &Counters::spf_incremental, Counters::Merge::kSum},
     {"spf_skipped", &Counters::spf_skipped, Counters::Merge::kSum},
@@ -21,6 +21,12 @@ constexpr std::array<Counters::Entry, 14> kCatalog{{
     {"events_processed", &Counters::events_processed, Counters::Merge::kSum},
     {"event_queue_peak_depth", &Counters::event_queue_peak_depth,
      Counters::Merge::kMax},
+    {"event_queue_slab_slots", &Counters::event_queue_slab_slots,
+     Counters::Merge::kMax},
+    {"event_queue_resizes", &Counters::event_queue_resizes,
+     Counters::Merge::kSum},
+    {"event_queue_overflow_scheduled",
+     &Counters::event_queue_overflow_scheduled, Counters::Merge::kSum},
     {"packet_pool_slots", &Counters::packet_pool_slots, Counters::Merge::kMax},
     {"packet_pool_acquired", &Counters::packet_pool_acquired,
      Counters::Merge::kSum},

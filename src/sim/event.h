@@ -14,6 +14,13 @@
 // small-buffer function wrapper: callables up to SmallFn::kInlineBytes are
 // stored in place, larger ones fall back to the heap — acceptable precisely
 // because those events are not recurring.
+//
+// SimEvent stores the SmallFn in a union with the typed payload: a callback
+// event never carries link/packet fields and a typed event never carries a
+// callable, so overlapping them halves every event-queue slab slot to one
+// cache line (64 bytes, pinned below). The union is managed manually off the
+// kind tag; all payload access goes through the accessors, which check the
+// kind in debug builds.
 
 #pragma once
 
@@ -25,6 +32,7 @@
 #include <utility>
 
 #include "src/net/topology.h"
+#include "src/util/check.h"
 #include "src/util/units.h"
 
 namespace arpanet::sim {
@@ -53,7 +61,7 @@ class SmallFn {
   SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::remove_cvref_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  alignof(Fn) <= alignof(void*) &&
                   std::is_nothrow_move_constructible_v<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       static constexpr VTable kVt{
@@ -68,8 +76,8 @@ class SmallFn {
           }};
       vt_ = &kVt;
     } else {
-      // Oversized or throwing-move callables go to the heap; fine for
-      // rare/test-only events, never used by the recurring kinds.
+      // Oversized, overaligned or throwing-move callables go to the heap;
+      // fine for rare/test-only events, never used by the recurring kinds.
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       static constexpr VTable kVt{
           [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
@@ -126,9 +134,16 @@ class SmallFn {
     }
   }
 
-  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  // Pointer alignment suffices: inline eligibility above rejects callables
+  // with stricter alignment (they take the heap path). Keeping the buffer at
+  // alignof(void*) instead of max_align_t is what lets the whole wrapper
+  // share a 56-byte union member with SimEvent's typed payload.
+  alignas(void*) std::byte storage_[kInlineBytes];
   const VTable* vt_ = nullptr;
 };
+
+static_assert(sizeof(SmallFn) == 56 && alignof(SmallFn) == alignof(void*),
+              "SmallFn layout drifted; SimEvent's union sizing relies on it");
 
 struct SimEvent;
 
@@ -143,8 +158,8 @@ class EventSink {
   ~EventSink() = default;  // sinks are never owned through this interface
 };
 
-/// One scheduled event: a tag, a trivially-copyable payload for the
-/// recurring kinds, and the SmallFn fallback for everything else.
+/// One scheduled event: a tag plus a union of the trivially-copyable payload
+/// for the recurring kinds and the SmallFn fallback for everything else.
 struct SimEvent {
   enum class Kind : std::uint8_t {
     kCallback,           ///< fn()           — rare/test-only events
@@ -158,93 +173,112 @@ struct SimEvent {
     kHostFlowTimeout,    ///< index = pair, id = message, generation
   };
 
-  Kind kind = Kind::kCallback;
-  EventSink* sink = nullptr;
-  std::uint32_t index = 0;
-  net::LinkId link = net::kInvalidLink;
-  PacketHandle packet = kInvalidPacketHandle;
-  std::int32_t generation = 0;
-  std::uint64_t id = 0;
-  util::SimTime t1;
-  util::SimTime t2;
-  bool flag = false;
-  SmallFn fn;
+  SimEvent() noexcept { ::new (static_cast<void*>(&fn_)) SmallFn{}; }
+
+  SimEvent(SimEvent&& other) noexcept : kind_{other.kind_} {
+    if (kind_ == Kind::kCallback) {
+      ::new (static_cast<void*>(&fn_)) SmallFn{std::move(other.fn_)};
+    } else {
+      ::new (static_cast<void*>(&typed_)) Typed(other.typed_);
+    }
+  }
+
+  SimEvent& operator=(SimEvent&& other) noexcept {
+    if (this != &other) {
+      if (kind_ == Kind::kCallback && other.kind_ == Kind::kCallback) {
+        fn_ = std::move(other.fn_);
+      } else {
+        destroy_payload();
+        kind_ = other.kind_;
+        if (kind_ == Kind::kCallback) {
+          ::new (static_cast<void*>(&fn_)) SmallFn{std::move(other.fn_)};
+        } else {
+          ::new (static_cast<void*>(&typed_)) Typed(other.typed_);
+        }
+      }
+    }
+    return *this;
+  }
+
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  ~SimEvent() { destroy_payload(); }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  // Typed-payload accessors; valid only for the kinds documented on Kind.
+  [[nodiscard]] std::uint32_t index() const { return typed().index; }
+  [[nodiscard]] net::LinkId link() const { return typed().link; }
+  [[nodiscard]] PacketHandle packet() const { return typed().packet; }
+  [[nodiscard]] std::int32_t generation() const { return typed().generation; }
+  [[nodiscard]] std::uint64_t id() const { return typed().id; }
+  [[nodiscard]] util::SimTime t1() const { return typed().t1; }
+  [[nodiscard]] util::SimTime t2() const { return typed().t2; }
+  [[nodiscard]] bool flag() const { return typed().flag; }
 
   /// Executes the event: typed kinds dispatch through their sink, callbacks
   /// invoke the stored function.
   void fire() {
-    if (kind == Kind::kCallback) {
-      fn();
+    if (kind_ == Kind::kCallback) {
+      fn_();
     } else {
-      sink->handle_event(*this);
+      typed_.sink->handle_event(*this);
     }
   }
 
   [[nodiscard]] static SimEvent callback(SmallFn f) {
     SimEvent ev;
-    ev.kind = Kind::kCallback;
-    ev.fn = std::move(f);
+    ev.fn_ = std::move(f);
     return ev;
   }
 
   [[nodiscard]] static SimEvent source_tick(EventSink& sink,
                                             std::uint32_t source_index) {
-    SimEvent ev;
-    ev.kind = Kind::kSourceTick;
-    ev.sink = &sink;
-    ev.index = source_index;
+    SimEvent ev{Kind::kSourceTick, sink};
+    ev.typed_.index = source_index;
     return ev;
   }
 
   [[nodiscard]] static SimEvent propagation_arrival(EventSink& sink,
                                                     net::LinkId link,
                                                     PacketHandle packet) {
-    SimEvent ev;
-    ev.kind = Kind::kPropagationArrival;
-    ev.sink = &sink;
-    ev.link = link;
-    ev.packet = packet;
+    SimEvent ev{Kind::kPropagationArrival, sink};
+    ev.typed_.link = link;
+    ev.typed_.packet = packet;
     return ev;
   }
 
   [[nodiscard]] static SimEvent transmit_complete(
       EventSink& sink, net::NodeId node, net::LinkId link, PacketHandle packet,
       util::SimTime queue_delay, util::SimTime tx_time, bool is_update) {
-    SimEvent ev;
-    ev.kind = Kind::kTransmitComplete;
-    ev.sink = &sink;
-    ev.index = node;
-    ev.link = link;
-    ev.packet = packet;
-    ev.t1 = queue_delay;
-    ev.t2 = tx_time;
-    ev.flag = is_update;
+    SimEvent ev{Kind::kTransmitComplete, sink};
+    ev.typed_.index = node;
+    ev.typed_.link = link;
+    ev.typed_.packet = packet;
+    ev.typed_.t1 = queue_delay;
+    ev.typed_.t2 = tx_time;
+    ev.typed_.flag = is_update;
     return ev;
   }
 
   [[nodiscard]] static SimEvent measurement_period(EventSink& sink,
                                                    net::NodeId node) {
-    SimEvent ev;
-    ev.kind = Kind::kMeasurementPeriod;
-    ev.sink = &sink;
-    ev.index = node;
+    SimEvent ev{Kind::kMeasurementPeriod, sink};
+    ev.typed_.index = node;
     return ev;
   }
 
   [[nodiscard]] static SimEvent dv_tick(EventSink& sink, net::NodeId node) {
-    SimEvent ev;
-    ev.kind = Kind::kDvTick;
-    ev.sink = &sink;
-    ev.index = node;
+    SimEvent ev{Kind::kDvTick, sink};
+    ev.typed_.index = node;
     return ev;
   }
 
   [[nodiscard]] static SimEvent host_flow_message(EventSink& sink,
                                                   std::uint32_t pair_index) {
-    SimEvent ev;
-    ev.kind = Kind::kHostFlowMessage;
-    ev.sink = &sink;
-    ev.index = pair_index;
+    SimEvent ev{Kind::kHostFlowMessage, sink};
+    ev.typed_.index = pair_index;
     return ev;
   }
 
@@ -252,14 +286,53 @@ struct SimEvent {
                                                   std::uint32_t pair_index,
                                                   std::uint64_t message_id,
                                                   std::int32_t generation) {
-    SimEvent ev;
-    ev.kind = Kind::kHostFlowTimeout;
-    ev.sink = &sink;
-    ev.index = pair_index;
-    ev.id = message_id;
-    ev.generation = generation;
+    SimEvent ev{Kind::kHostFlowTimeout, sink};
+    ev.typed_.index = pair_index;
+    ev.typed_.id = message_id;
+    ev.typed_.generation = generation;
     return ev;
   }
+
+ private:
+  /// The payload of every recurring (non-callback) kind; trivially copyable
+  /// so moving a typed event is a plain 56-byte copy.
+  struct Typed {
+    EventSink* sink = nullptr;
+    std::uint32_t index = 0;
+    net::LinkId link = net::kInvalidLink;
+    PacketHandle packet = kInvalidPacketHandle;
+    std::int32_t generation = 0;
+    std::uint64_t id = 0;
+    util::SimTime t1;
+    util::SimTime t2;
+    bool flag = false;
+  };
+  static_assert(std::is_trivially_copyable_v<Typed>);
+
+  SimEvent(Kind kind, EventSink& sink) noexcept : kind_{kind} {
+    ::new (static_cast<void*>(&typed_)) Typed{};
+    typed_.sink = &sink;
+  }
+
+  [[nodiscard]] const Typed& typed() const {
+    ARPA_DCHECK(kind_ != Kind::kCallback)
+        << "typed payload read on a callback event";
+    return typed_;
+  }
+
+  void destroy_payload() noexcept {
+    if (kind_ == Kind::kCallback) fn_.~SmallFn();
+  }
+
+  Kind kind_ = Kind::kCallback;
+  union {
+    Typed typed_;  ///< every kind except kCallback
+    SmallFn fn_;   ///< kCallback only
+  };
 };
+
+static_assert(sizeof(SimEvent) == 64,
+              "SimEvent must stay one cache line; the union of the typed "
+              "payload and SmallFn is sized to make the slab slot 64 bytes");
 
 }  // namespace arpanet::sim

@@ -1,24 +1,37 @@
 // Discrete-event queue.
 //
-// A binary min-heap of (time, sequence) keyed typed events (sim/event.h).
-// The sequence number makes ordering of simultaneous events deterministic
-// (FIFO in scheduling order), which keeps whole-network runs
-// bit-reproducible for a given seed.
+// A calendar queue (Brown 1988): pending events hang off an array of
+// power-of-two-width "day" buckets covering a sliding window of virtual
+// time, with a sorted overflow list for events beyond the window. Scheduling
+// links the event into its day's bucket in O(1); dequeueing drains one day
+// at a time, sorting that day's handful of entries by (time, sequence) —
+// amortized O(1) per event for the near-future-clustered distributions a
+// queueing-network simulation produces, where the old binary heap paid an
+// O(log n) sift on every operation at depths in the thousands.
 //
-// Events live in a recycled slab (stable deque + freelist, like
-// sim/packet_pool.h) and the heap itself holds only 24-byte
-// (time, seq, slot) records, so the O(log n) sift on every schedule/pop
-// moves small trivially-copyable entries instead of full SimEvents — the
-// event is moved exactly twice, into its slot and back out. The heap is a
-// plain std::vector driven by std::push_heap/std::pop_heap, and popping
-// moves the event out of its slot (SimEvent carries a move-only SmallFn).
-// Scheduling a recurring typed event performs no allocation once the slab
-// and heap have reached their high-water capacity.
+// The sequence number makes ordering of simultaneous events deterministic
+// (FIFO in scheduling order); the drain sort recovers the exact (time, seq)
+// total order the heap produced, so whole-network runs stay bit-reproducible
+// for a given seed — the golden bench report does not move.
+//
+// Events live in a recycled slab (contiguous vector + freelist, like
+// sim/packet_pool.h); buckets are intrusive singly-linked lists threaded
+// through per-slot metadata, so a resize — triggered when the population
+// outgrows or collapses below the bucket array, or when the overflow list
+// gets deep — relinks slot indices without moving a single SimEvent. The
+// bucket width is re-derived from the observed horizon (max − min pending
+// time) so that the mean bucket holds O(1) events. Scheduling a recurring
+// typed event performs no allocation once the slab and bucket array have
+// reached their high-water capacity.
+//
+// Contract: schedule() times must be >= the last popped time (the Simulator
+// enforces this — its clock never runs backwards). The window's base day
+// advances monotonically as days drain; an event scheduled into the current
+// day merges into the day's sorted drain list, still in exact order.
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/sim/event.h"
@@ -28,6 +41,8 @@ namespace arpanet::sim {
 
 class EventQueue {
  public:
+  EventQueue();
+
   void schedule(util::SimTime at, SimEvent ev);
 
   /// Convenience: wraps a callable into a SimEvent::callback event.
@@ -37,35 +52,112 @@ class EventQueue {
     schedule(at, SimEvent::callback(SmallFn{std::forward<F>(f)}));
   }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
   /// High-water mark of size() over the queue's lifetime (telemetry).
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
-  [[nodiscard]] util::SimTime next_time() const { return heap_.front().at; }
+
+  /// Earliest pending time. Precondition: !empty(). Not const: it readies
+  /// the sorted drain list for the front day, which the following pop()
+  /// reuses.
+  [[nodiscard]] util::SimTime next_time();
 
   /// Pops and moves out the earliest event. Precondition: !empty().
   [[nodiscard]] SimEvent pop(util::SimTime& at);
 
+  // ---- telemetry (obs counters) ----
+  /// Distinct slab slots ever allocated (high-water pending population).
+  [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+  /// Bucket-array rebuilds (width/size re-derivations) over the lifetime.
+  [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+  /// Events that landed beyond the bucket window on schedule().
+  [[nodiscard]] std::uint64_t overflow_scheduled() const {
+    return overflow_scheduled_;
+  }
+
  private:
+  /// A (time, seq) key plus the slab slot it refers to; the element of the
+  /// sorted drain and overflow lists.
   struct Entry {
-    util::SimTime at;
+    std::int64_t at_us = 0;
     std::uint64_t seq = 0;
     std::uint32_t slot = 0;
-
-    /// Min-heap order under std::greater-style comparison: earliest time
-    /// first, scheduling order among ties.
-    [[nodiscard]] bool operator>(const Entry& o) const {
-      return at != o.at ? at > o.at : seq > o.seq;
-    }
   };
 
-  std::vector<Entry> heap_;
-  /// Pending events, indexed by Entry::slot. A deque keeps existing events
-  /// in place while the slab grows.
-  std::deque<SimEvent> slots_;
+  /// Per-slot schedule key and intrusive bucket-list link.
+  struct SlotMeta {
+    std::int64_t at_us = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = 0;
+  };
+
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  /// Initial day width: 2^10 us ≈ 1 ms, the order of a trunk's transmission
+  /// and propagation delays. Resizes re-derive it from the live horizon.
+  static constexpr int kDefaultShift = 10;
+  static constexpr int kMaxShift = 40;  ///< day width cap (~13 days of sim time)
+  /// Overflow depth that triggers a window re-derivation (when it also
+  /// holds the majority of pending events).
+  static constexpr std::size_t kOverflowTrigger = 64;
+
+  /// Strict descending (time, seq) order, so the back() of a sorted vector
+  /// is the earliest entry and pops are pop_back().
+  [[nodiscard]] static bool later(const Entry& a, const Entry& b) {
+    return a.at_us != b.at_us ? a.at_us > b.at_us : a.seq > b.seq;
+  }
+
+  [[nodiscard]] std::int64_t day_of(std::int64_t at_us) const {
+    return at_us >> shift_;  // arithmetic shift, well-defined since C++20
+  }
+
+  /// Files one slot into the structure: the active drain day, a bucket, or
+  /// the overflow list. `count_overflow` is false during resize relinks so
+  /// the overflow_scheduled telemetry only counts real schedule() calls.
+  void insert_entry(std::uint32_t slot, bool count_overflow);
+
+  /// Moves overflow entries whose day now falls inside the window into
+  /// their buckets (the overflow list is sorted, so this peels the back).
+  void migrate_overflow();
+
+  /// Ensures drain_ holds the front day's entries, sorted. Pre: size_ > 0.
+  void prepare();
+
+  /// Rebuilds the bucket array: re-derives the day width from the pending
+  /// horizon, sizes the array to the population, and relinks every slot
+  /// (indices only — no SimEvent moves).
+  void resize();
+
+  // Slab: the events themselves plus per-slot metadata and a freelist.
+  std::vector<SimEvent> slots_;
+  std::vector<SlotMeta> meta_;
   std::vector<std::uint32_t> free_;
+
+  // Calendar: head slot index per bucket; day d maps to d & mask_ and the
+  // window [base_day_, base_day_ + buckets_.size()) holds one day per
+  // bucket, so no bucket ever mixes days.
+  std::vector<std::uint32_t> buckets_;
+  std::size_t mask_ = kMinBuckets - 1;
+  int shift_ = kDefaultShift;
+  std::int64_t base_day_ = 0;
+  std::size_t bucketed_ = 0;  ///< events currently linked into buckets_
+
+  // The front day, sorted descending; back() pops first. While a drain is
+  // active, new events for base_day_ merge here instead of the bucket.
+  std::vector<Entry> drain_;
+  bool drain_active_ = false;
+
+  /// Events beyond the window, sorted descending; back() migrates first.
+  std::vector<Entry> overflow_;
+
+  std::vector<std::uint32_t> scratch_;  ///< resize relink staging
+
   std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
   std::size_t peak_size_ = 0;
+  std::uint64_t resizes_ = 0;
+  std::uint64_t overflow_scheduled_ = 0;
 };
 
 }  // namespace arpanet::sim

@@ -59,9 +59,9 @@ void HostFlowLayer::schedule_message(std::size_t pair_index) {
 }
 
 void HostFlowLayer::handle_event(SimEvent& ev) {
-  switch (ev.kind) {
+  switch (ev.kind()) {
     case SimEvent::Kind::kHostFlowMessage: {
-      Pair& p = *pairs_[ev.index];
+      Pair& p = *pairs_[ev.index()];
       Message msg;
       msg.id = ++next_message_id_;
       // Shifted-exponential message sizes, truncated to the 8-packet cap.
@@ -74,11 +74,11 @@ void HostFlowLayer::handle_event(SimEvent& ev) {
       ++messages_offered_;
       p.backlog.push_back(msg);
       try_send(p);
-      schedule_message(ev.index);
+      schedule_message(ev.index());
       break;
     }
     case SimEvent::Kind::kHostFlowTimeout:
-      on_timeout(ev.index, ev.id, ev.generation);
+      on_timeout(ev.index(), ev.id(), ev.generation());
       break;
     default:
       throw std::logic_error("host-flow layer dispatched unknown event kind");

@@ -81,30 +81,30 @@ void Network::schedule_arrival(std::size_t source_index) {
 }
 
 void Network::handle_event(SimEvent& ev) {
-  switch (ev.kind) {
+  switch (ev.kind()) {
     case SimEvent::Kind::kSourceTick: {
       if (!traffic_enabled_) break;  // stop_traffic(): let the queues drain
-      Source& s = *sources_[ev.index];
+      Source& s = *sources_[ev.index()];
       psns_[s.src]->originate_data(s.dst, sizer_.sample(s.size_rng));
-      schedule_arrival(ev.index);
+      schedule_arrival(ev.index());
       break;
     }
     case SimEvent::Kind::kPropagationArrival:
-      psns_[topo_->link(ev.link).to]->receive(ev.packet, ev.link);
+      psns_[topo_->link(ev.link()).to]->receive(ev.packet(), ev.link());
       break;
     case SimEvent::Kind::kTransmitComplete:
-      psns_[ev.index]->on_transmit_complete(ev.link, ev.t1, ev.t2, ev.flag,
-                                            ev.packet);
+      psns_[ev.index()]->on_transmit_complete(ev.link(), ev.t1(), ev.t2(),
+                                              ev.flag(), ev.packet());
       break;
     case SimEvent::Kind::kMeasurementPeriod:
-      psns_[ev.index]->measurement_period();
+      psns_[ev.index()]->measurement_period();
       break;
     case SimEvent::Kind::kDvTick:
-      psns_[ev.index]->dv_tick();
+      psns_[ev.index()]->dv_tick();
       break;
     default:
       ARPA_CHECK(false) << "network dispatched unknown event kind "
-                        << static_cast<int>(ev.kind);
+                        << static_cast<int>(ev.kind());
   }
 }
 
@@ -156,8 +156,9 @@ void Network::on_cost_reported(net::LinkId link, double cost) {
     ARPA_CHECK(std::isfinite(cost) && cost > 0.0)
         << "link " << link << " reported non-positive cost " << cost;
     if (link_bounds_[link]) {
-      analysis::check_cost_in_bounds(cost, link_bounds_[link]->min_cost,
-                                     link_bounds_[link]->max_cost);
+      analysis::check_cost_in_bounds(analysis::Cost{cost},
+                                     analysis::Cost{link_bounds_[link]->min_cost},
+                                     analysis::Cost{link_bounds_[link]->max_cost});
     }
     // Movement limiting is enforced per measurement period (the granularity
     // the paper states it at) in on_period_measured, not report-to-report.
@@ -169,22 +170,26 @@ void Network::on_cost_reported(net::LinkId link, double cost) {
   if (trace_sink_) trace_sink_->on_cost_reported(link, sim_.now(), cost);
 }
 
-void Network::on_period_measured(net::LinkId link, double previous,
-                                 double candidate, double busy_fraction) {
-  if (cfg_.check_invariants && hnspf_invariants_ &&
-      previous != Psn::kDownLinkCost && candidate != Psn::kDownLinkCost) {
-    const net::Link& l = topo_->link(link);
-    // The exact section 4.3 bound: consecutive periods' costs differ by at
-    // most the movement limit, with no threshold slack — HN-SPF limits the
-    // candidate against the previous period's value whether or not either
-    // was significant enough to flood.
-    analysis::check_movement_limited(previous, candidate,
-                                     cfg_.line_params.for_type(l.type),
-                                     /*extra_slack=*/0.0);
-    ++counters_.invariant_period_checks;
+void Network::on_period_measured(net::LinkId link, analysis::Cost previous,
+                                 analysis::Cost candidate,
+                                 analysis::Utilization busy_fraction) {
+  if (cfg_.check_invariants) {
+    analysis::check_utilization_in_range(busy_fraction);
+    if (hnspf_invariants_ && previous.value() != Psn::kDownLinkCost &&
+        candidate.value() != Psn::kDownLinkCost) {
+      const net::Link& l = topo_->link(link);
+      // The exact section 4.3 bound: consecutive periods' costs differ by at
+      // most the movement limit, with no threshold slack — HN-SPF limits the
+      // candidate against the previous period's value whether or not either
+      // was significant enough to flood.
+      analysis::check_movement_limited(previous, candidate,
+                                       cfg_.line_params.for_type(l.type),
+                                       /*extra_slack=*/0.0);
+      ++counters_.invariant_period_checks;
+    }
   }
   if (trace_sink_) {
-    trace_sink_->on_utilization(link, sim_.now(), busy_fraction);
+    trace_sink_->on_utilization(link, sim_.now(), busy_fraction.value());
   }
 }
 
@@ -241,6 +246,9 @@ obs::Counters Network::counters() const {
   }
   c.events_processed = sim_.events_processed();
   c.event_queue_peak_depth = sim_.queue_peak_depth();
+  c.event_queue_slab_slots = sim_.queue_slab_slots();
+  c.event_queue_resizes = sim_.queue_resizes();
+  c.event_queue_overflow_scheduled = sim_.queue_overflow_scheduled();
   c.packet_pool_slots = pool_.slots();
   c.packet_pool_acquired = pool_.acquired();
   c.packet_pool_recycled = pool_.recycled();

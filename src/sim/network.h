@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/invariants.h"
 #include "src/core/line_params.h"
 #include "src/metrics/link_metric.h"
 #include "src/metrics/metric_factory.h"
@@ -245,8 +246,11 @@ class Network : public EventSink {
   /// Enforces the exact section 4.3 movement bound between consecutive
   /// update periods (no significance-threshold widening — the metric
   /// limits every period's move, reported or not) and feeds the trace sink.
-  void on_period_measured(net::LinkId link, double previous, double candidate,
-                          double busy_fraction);
+  /// The strong analysis types make the cost/cost/utilization argument row
+  /// un-swappable at the call site.
+  void on_period_measured(net::LinkId link, analysis::Cost previous,
+                          analysis::Cost candidate,
+                          analysis::Utilization busy_fraction);
   void deliver_to_peer(net::LinkId link, PacketHandle pkt);
   [[nodiscard]] std::uint64_t next_packet_id() { return ++packet_id_; }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/analysis/invariants.h"
 #include "src/metrics/metric_factory.h"
 #include "src/sim/network.h"
 #include "src/util/check.h"
@@ -267,8 +268,9 @@ void Psn::measurement_period() {
     const metrics::PeriodMeasurement m =
         o.meas.end_period(net_.config().measurement_period);
     candidates[i] = o.up ? o.metric->on_period(m) : kDownLinkCost;
-    net_.on_period_measured(o.id, o.last_candidate, candidates[i],
-                            m.busy_fraction);
+    net_.on_period_measured(o.id, analysis::Cost{o.last_candidate},
+                            analysis::Cost{candidates[i]},
+                            analysis::Utilization{m.busy_fraction});
     o.last_candidate = candidates[i];
     if (o.filter.should_report(candidates[i])) significant = true;
   }

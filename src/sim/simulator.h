@@ -48,6 +48,18 @@ class Simulator {
   [[nodiscard]] std::size_t queue_peak_depth() const {
     return queue_.peak_size();
   }
+  /// Event-slab slots ever allocated by the calendar queue (telemetry).
+  [[nodiscard]] std::size_t queue_slab_slots() const {
+    return queue_.slab_slots();
+  }
+  /// Calendar bucket-array rebuilds over the run (telemetry).
+  [[nodiscard]] std::uint64_t queue_resizes() const {
+    return queue_.resizes();
+  }
+  /// Events scheduled beyond the calendar window (telemetry).
+  [[nodiscard]] std::uint64_t queue_overflow_scheduled() const {
+    return queue_.overflow_scheduled();
+  }
 
  private:
   EventQueue queue_;

@@ -18,7 +18,7 @@ std::string doc(double rate, long events = 1000) {
   std::ostringstream os;
   os << R"({
   "schema": "arpanet-bench-metrics",
-  "schema_version": 1,
+  "schema_version": 2,
   "battery": "smoke",
   "elapsed_sec": 1.5,
   "scenarios": [
@@ -46,6 +46,29 @@ std::string doc(double rate, long events = 1000) {
   ]
 })";
   return os.str();
+}
+
+/// Like doc(), but with a one-cell "micro" array. `checksum` perturbs the
+/// deterministic digest; `ops_rate` scales the micro throughput.
+std::string micro_doc(double rate, double ops_rate,
+                      std::uint64_t checksum = 42) {
+  std::string d = doc(rate);
+  std::ostringstream os;
+  os << R"(,
+  "micro": [
+    {
+      "name": "hold_near_future",
+      "ops": 404096,
+      "checksum": )"
+     << checksum << R"(,
+      "wall_sec": 0.1,
+      "ops_per_sec": )"
+     << ops_rate << R"(
+    }
+  ]
+})";
+  d.replace(d.rfind('}'), 1, os.str());
+  return d;
 }
 
 TEST(BenchCompareTest, IdenticalDocumentsPass) {
@@ -143,6 +166,8 @@ TEST(BenchCompareTest, RealSmokeBatteryComparesCleanAgainstItself) {
   EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
   EXPECT_EQ(r.cells.size(), 4u);  // 2 scenarios x 2 metrics
   for (const CellDelta& d : r.cells) EXPECT_GT(d.ratio, 0.0);
+  EXPECT_EQ(r.micro.size(), 2u);  // hold_near_future + hold_wide_span
+  for (const CellDelta& d : r.micro) EXPECT_GT(d.ratio, 0.0);
 }
 
 TEST(BenchCompareTest, TextReportNamesEveryCellAndViolation) {
@@ -151,6 +176,91 @@ TEST(BenchCompareTest, TextReportNamesEveryCellAndViolation) {
   r.write_text(os);
   EXPECT_NE(os.str().find("ring6/HN-SPF"), std::string::npos);
   EXPECT_NE(os.str().find("VIOLATION"), std::string::npos);
+}
+
+TEST(BenchCompareTest, MicroCellsCompareRatesWithinNoise) {
+  CompareOptions opt;
+  opt.rate_noise = 0.10;
+  const CompareReport ok =
+      compare_bench_reports(micro_doc(1e6, 4e6), micro_doc(1e6, 3.8e6), opt);
+  EXPECT_TRUE(ok.ok()) << (ok.violations.empty() ? "" : ok.violations.front());
+  ASSERT_EQ(ok.micro.size(), 1u);
+  EXPECT_EQ(ok.micro[0].topology, "hold_near_future");
+
+  const CompareReport slow =
+      compare_bench_reports(micro_doc(1e6, 4e6), micro_doc(1e6, 3e6), opt);
+  EXPECT_FALSE(slow.ok());
+  EXPECT_NE(slow.violations[0].find("ops_per_sec"), std::string::npos);
+}
+
+TEST(BenchCompareTest, MicroChecksumDriftIsAViolation) {
+  // A changed pop-order digest means the queue's total order changed — no
+  // rate noise excuses that.
+  const CompareReport r =
+      compare_bench_reports(micro_doc(1e6, 4e6, /*checksum=*/42),
+                            micro_doc(1e6, 8e6, /*checksum=*/43));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("micro hold_near_future"), std::string::npos);
+}
+
+TEST(BenchCompareTest, MicroCellCountMismatchIsAViolation) {
+  const CompareReport r =
+      compare_bench_reports(micro_doc(1e6, 4e6), doc(1e6));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("micro cell count"), std::string::npos);
+}
+
+TEST(BenchCompareTest, RatesFromArtifactAnchorsTheNoiseBand) {
+  // Committed baseline was measured on a faster machine (2e6); the rolling
+  // artifact from this machine says 1e6. Current at 0.95e6 is within 10% of
+  // the artifact but 52% below the committed baseline: rolling mode passes.
+  CompareOptions opt;
+  opt.rate_noise = 0.10;
+  const std::string committed = micro_doc(2e6, 8e6);
+  const std::string previous = micro_doc(1e6, 4e6);
+  const std::string current = micro_doc(0.95e6, 3.9e6);
+  const CompareReport strict = compare_bench_reports(committed, current, opt);
+  EXPECT_FALSE(strict.ok());
+  const CompareReport rolling =
+      compare_bench_reports(committed, current, previous, opt);
+  EXPECT_TRUE(rolling.ok())
+      << (rolling.violations.empty() ? "" : rolling.violations.front());
+  ASSERT_EQ(rolling.cells.size(), 2u);
+  EXPECT_TRUE(rolling.cells[0].rate_from_artifact);
+  EXPECT_DOUBLE_EQ(rolling.cells[0].baseline_events_per_sec, 1e6);
+  ASSERT_EQ(rolling.micro.size(), 1u);
+  EXPECT_TRUE(rolling.micro[0].rate_from_artifact);
+  std::ostringstream os;
+  rolling.write_text(os);
+  EXPECT_NE(os.str().find("[rolling]"), std::string::npos);
+}
+
+TEST(BenchCompareTest, RatesFromFallsBackWhenTheArtifactLacksACell) {
+  // A rates artifact whose cells do not match (different topology names)
+  // contributes nothing; every rate anchors to the committed baseline.
+  std::string foreign = micro_doc(9e6, 9e6);
+  std::size_t at;
+  while ((at = foreign.find("ring6")) != std::string::npos) {
+    foreign.replace(at, 5, "gridX");
+  }
+  while ((at = foreign.find("hold_near_future")) != std::string::npos) {
+    foreign.replace(at, 16, "something_else99");
+  }
+  const CompareReport r = compare_bench_reports(
+      micro_doc(1e6, 4e6), micro_doc(1e6, 4e6), foreign);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  for (const CellDelta& d : r.cells) {
+    EXPECT_FALSE(d.rate_from_artifact);
+    EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+  }
+  ASSERT_EQ(r.micro.size(), 1u);
+  EXPECT_FALSE(r.micro[0].rate_from_artifact);
+}
+
+TEST(BenchCompareTest, UnparsableRatesDocumentThrows) {
+  EXPECT_THROW((void)compare_bench_reports(micro_doc(1e6, 4e6),
+                                           micro_doc(1e6, 4e6), "{ not json"),
+               std::invalid_argument);
 }
 
 }  // namespace

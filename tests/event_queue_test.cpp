@@ -109,8 +109,8 @@ TEST(EventQueueTest, PopMovesTheEventOut) {
 class RecordingSink : public EventSink {
  public:
   void handle_event(SimEvent& ev) override {
-    kinds.push_back(ev.kind);
-    indices.push_back(ev.index);
+    kinds.push_back(ev.kind());
+    indices.push_back(ev.index());
   }
 
   std::vector<SimEvent::Kind> kinds;
@@ -149,13 +149,13 @@ TEST(EventQueueTest, TransmitCompleteCarriesItsPayload) {
                                          /*is_update=*/true));
   SimTime at;
   q.pop(at).fire();
-  EXPECT_EQ(sink.captured.kind, SimEvent::Kind::kTransmitComplete);
-  EXPECT_EQ(sink.captured.index, 3u);
-  EXPECT_EQ(sink.captured.link, 9u);
-  EXPECT_EQ(sink.captured.packet, 12u);
-  EXPECT_EQ(sink.captured.t1, SimTime::from_us(70));
-  EXPECT_EQ(sink.captured.t2, SimTime::from_us(800));
-  EXPECT_TRUE(sink.captured.flag);
+  EXPECT_EQ(sink.captured.kind(), SimEvent::Kind::kTransmitComplete);
+  EXPECT_EQ(sink.captured.index(), 3u);
+  EXPECT_EQ(sink.captured.link(), 9u);
+  EXPECT_EQ(sink.captured.packet(), 12u);
+  EXPECT_EQ(sink.captured.t1(), SimTime::from_us(70));
+  EXPECT_EQ(sink.captured.t2(), SimTime::from_us(800));
+  EXPECT_TRUE(sink.captured.flag());
 }
 
 TEST(EventQueueTest, MixedTimesPopInTimeOrderUnderChurn) {

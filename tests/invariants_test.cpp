@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "src/analysis/invariants.h"
@@ -57,16 +58,20 @@ TEST(CheckMacroTest, DcheckCompiledOutUnderNdebug) {
 }
 
 TEST(CostBoundsTest, InRangeCostsPass) {
-  analysis::check_cost_in_bounds(30.0, 30.0, 90.0);
-  analysis::check_cost_in_bounds(90.0, 30.0, 90.0);
+  using analysis::Cost;
+  analysis::check_cost_in_bounds(Cost{30.0}, Cost{30.0}, Cost{90.0});
+  analysis::check_cost_in_bounds(Cost{90.0}, Cost{30.0}, Cost{90.0});
   SUCCEED();
 }
 
 TEST(CostBoundsTest, DeathOnOutOfBoundsCost) {
-  EXPECT_DEATH(analysis::check_cost_in_bounds(90.5, 30.0, 90.0),
-               "above line-type maximum");
-  EXPECT_DEATH(analysis::check_cost_in_bounds(29.0, 30.0, 90.0),
-               "below line-type minimum");
+  using analysis::Cost;
+  EXPECT_DEATH(
+      analysis::check_cost_in_bounds(Cost{90.5}, Cost{30.0}, Cost{90.0}),
+      "above line-type maximum");
+  EXPECT_DEATH(
+      analysis::check_cost_in_bounds(Cost{29.0}, Cost{30.0}, Cost{90.0}),
+      "below line-type minimum");
 }
 
 TEST(CostBoundsTest, DeathOnMisClippedHnSpfCost) {
@@ -75,30 +80,54 @@ TEST(CostBoundsTest, DeathOnMisClippedHnSpfCost) {
   // fatal when it reaches the invariant layer.
   const HnMetric metric = terrestrial56_metric();
   const double mis_clipped = metric.max_cost() + metric.params().up_limit();
-  EXPECT_DEATH(analysis::check_cost_in_bounds(mis_clipped, metric.min_cost(),
-                                              metric.max_cost()),
+  EXPECT_DEATH(analysis::check_cost_in_bounds(analysis::Cost{mis_clipped},
+                                              analysis::Cost{metric.min_cost()},
+                                              analysis::Cost{metric.max_cost()}),
                "above line-type maximum");
 }
 
 TEST(MovementLimitTest, LimitedMovesPass) {
   const LineTypeParams params;  // up_limit 16, down_limit 15
-  analysis::check_movement_limited(60.0, 60.0 + params.up_limit(), params);
-  analysis::check_movement_limited(60.0, 60.0 - params.down_limit(), params);
+  using analysis::Cost;
+  analysis::check_movement_limited(Cost{60.0}, Cost{60.0 + params.up_limit()},
+                                   params);
+  analysis::check_movement_limited(Cost{60.0}, Cost{60.0 - params.down_limit()},
+                                   params);
   // Report-to-report checks widen by the significance threshold.
   analysis::check_movement_limited(
-      60.0, 60.0 + params.up_limit() + params.change_threshold(), params,
-      params.change_threshold());
+      Cost{60.0}, Cost{60.0 + params.up_limit() + params.change_threshold()},
+      params, params.change_threshold());
   SUCCEED();
 }
 
 TEST(MovementLimitTest, DeathOnViolation) {
   const LineTypeParams params;
+  using analysis::Cost;
   EXPECT_DEATH(analysis::check_movement_limited(
-                   60.0, 60.0 + params.up_limit() + 0.5, params),
+                   Cost{60.0}, Cost{60.0 + params.up_limit() + 0.5}, params),
                "above the per-update up limit");
   EXPECT_DEATH(analysis::check_movement_limited(
-                   60.0, 60.0 - params.down_limit() - 0.5, params),
+                   Cost{60.0}, Cost{60.0 - params.down_limit() - 0.5}, params),
                "below the per-update down limit");
+}
+
+TEST(UtilizationRangeTest, FiniteNonNegativeFractionsPass) {
+  using analysis::Utilization;
+  analysis::check_utilization_in_range(Utilization{0.0});
+  analysis::check_utilization_in_range(Utilization{0.73});
+  // A transmission straddling the period boundary is attributed wholly to
+  // the period it completes in, so slightly-above-1 is legitimate.
+  analysis::check_utilization_in_range(Utilization{1.2});
+  SUCCEED();
+}
+
+TEST(UtilizationRangeTest, DeathOnNegativeOrNonFinite) {
+  using analysis::Utilization;
+  EXPECT_DEATH(analysis::check_utilization_in_range(Utilization{-0.01}),
+               "not a finite non-negative fraction");
+  EXPECT_DEATH(analysis::check_utilization_in_range(
+                   Utilization{std::numeric_limits<double>::quiet_NaN()}),
+               "not a finite non-negative fraction");
 }
 
 TEST(FlatRegionTest, ArpanetDefaultsHaveThePaperShape) {
@@ -172,7 +201,9 @@ TEST(PeriodMovementHookTest, DeathOnOverLimitPeriodMove) {
   arpanet::sim::NetworkConfig cfg;
   arpanet::sim::Network net{topo, cfg};
   EXPECT_DEATH(
-      net.on_period_measured(0, 60.0, 60.0 + params.up_limit() + 1.0, 0.5),
+      net.on_period_measured(0, analysis::Cost{60.0},
+                             analysis::Cost{60.0 + params.up_limit() + 1.0},
+                             analysis::Utilization{0.5}),
       "above the per-update up limit");
 }
 
@@ -182,8 +213,13 @@ TEST(PeriodMovementHookTest, DownSentinelPeriodsAreExempt) {
   const arpanet::net::Topology topo = builders::ring(4);
   arpanet::sim::NetworkConfig cfg;
   arpanet::sim::Network net{topo, cfg};
-  net.on_period_measured(0, arpanet::sim::Psn::kDownLinkCost, 90.0, 0.0);
-  net.on_period_measured(0, 90.0, arpanet::sim::Psn::kDownLinkCost, 0.0);
+  using analysis::Cost;
+  using analysis::Utilization;
+  net.on_period_measured(0, Cost{arpanet::sim::Psn::kDownLinkCost},
+                         Cost{90.0}, Utilization{0.0});
+  net.on_period_measured(0, Cost{90.0},
+                         Cost{arpanet::sim::Psn::kDownLinkCost},
+                         Utilization{0.0});
   SUCCEED();
 }
 

@@ -3,6 +3,13 @@
 //
 //   bench_compare --baseline=bench/baseline/BENCH_metrics.json
 //                 --current=BENCH_metrics.json [--noise=0.10] [--work-noise=0]
+//                 [--rates-from=PREV_ARTIFACT.json]
+//
+// --rates-from enables the rolling artifact-to-artifact mode: deterministic
+// work fields still diff exactly against --baseline, but the throughput
+// noise band anchors to the previous run's artifact (same machine class),
+// which supports a much tighter --noise than the cross-machine committed
+// baseline.
 //
 // Exit codes: 0 = within tolerance, 1 = regression or incomparable cells,
 // 2 = usage/IO/parse error. The CI bench-smoke job runs this against the
@@ -36,6 +43,7 @@ int main(int argc, char** argv) {
   const util::Flags flags{argc, argv};
   const std::string baseline_path = flags.get_string("baseline", "");
   const std::string current_path = flags.get_string("current", "");
+  const std::string rates_path = flags.get_string("rates-from", "");
   obs::CompareOptions options;
   options.rate_noise = flags.get_double("noise", options.rate_noise);
   options.work_noise = flags.get_double("work-noise", options.work_noise);
@@ -45,14 +53,20 @@ int main(int argc, char** argv) {
   }
   if (baseline_path.empty() || current_path.empty()) {
     std::cerr << "usage: bench_compare --baseline=FILE --current=FILE"
-                 " [--noise=0.10] [--work-noise=0]\n";
+                 " [--noise=0.10] [--work-noise=0] [--rates-from=FILE]\n";
     return 2;
   }
 
   obs::CompareReport report;
   try {
-    report = obs::compare_bench_reports(read_file(baseline_path),
-                                        read_file(current_path), options);
+    if (rates_path.empty()) {
+      report = obs::compare_bench_reports(read_file(baseline_path),
+                                          read_file(current_path), options);
+    } else {
+      report = obs::compare_bench_reports(read_file(baseline_path),
+                                          read_file(current_path),
+                                          read_file(rates_path), options);
+    }
   } catch (const std::exception& e) {
     std::cerr << "bench_compare: " << e.what() << "\n";
     return 2;
