@@ -114,10 +114,27 @@ SweepSpec& SweepSpec::over_topologies(std::vector<NamedTopology> topos) {
   return *this;
 }
 
+SweepSpec& SweepSpec::over_topology_specs(std::vector<net::GraphSpec> specs) {
+  const net::TopologyBuilder& reg = net::TopologyBuilder::registry();
+  for (const net::GraphSpec& s : specs) reg.validate(s);
+  topology_specs = std::move(specs);
+  return *this;
+}
+
+std::vector<NamedTopology> SweepSpec::materialize_topologies() const {
+  const net::TopologyBuilder& reg = net::TopologyBuilder::registry();
+  std::vector<NamedTopology> out;
+  out.reserve(topology_specs.size());
+  for (const net::GraphSpec& s : topology_specs) {
+    out.push_back(NamedTopology{s.label(), reg.build(s)});
+  }
+  return out;
+}
+
 std::size_t SweepSpec::cell_count() const {
   const auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
-  return dim(topologies.size()) * dim(metrics.size()) * dim(loads_bps.size()) *
-         dim(shapes.size()) * dim(seeds.size());
+  return dim(topologies.size() + topology_specs.size()) * dim(metrics.size()) *
+         dim(loads_bps.size()) * dim(shapes.size()) * dim(seeds.size());
 }
 
 std::uint64_t derive_cell_seed(const std::string& topology,

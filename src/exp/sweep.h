@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/builders/registry.h"
 #include "src/net/topology.h"
 #include "src/sim/scenario.h"
 
@@ -39,6 +40,12 @@ struct SweepSpec {
   /// Topology axis. Usually empty: the Experiment's own topology is the
   /// single value. Non-empty lists run every cell on every named topology.
   std::vector<NamedTopology> topologies;
+  /// Declarative topology axis: GraphSpecs built through the TopologyBuilder
+  /// registry. The runner materializes these (single-threaded, in list
+  /// order) and appends them after `topologies`, so a sweep can range over
+  /// family x size without pre-building graphs. Each spec reports under its
+  /// label().
+  std::vector<net::GraphSpec> topology_specs;
 
   // ---- fluent construction ----
   SweepSpec& with_base(sim::ScenarioConfig cfg);
@@ -51,6 +58,13 @@ struct SweepSpec {
   /// n replica seeds base.seed, base.seed+1, ... (throws on n <= 0).
   SweepSpec& over_replicas(int n);
   SweepSpec& over_topologies(std::vector<NamedTopology> topos);
+  /// Validates every spec against the registry now (bad family/params throw
+  /// std::invalid_argument at spec time, not mid-sweep).
+  SweepSpec& over_topology_specs(std::vector<net::GraphSpec> specs);
+
+  /// Builds topology_specs through the registry, in list order, each named
+  /// by its label(). Deterministic regardless of runner thread count.
+  [[nodiscard]] std::vector<NamedTopology> materialize_topologies() const;
 
   /// Cells this spec expands to, given a default topology for the empty
   /// topology axis.

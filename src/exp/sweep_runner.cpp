@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -30,8 +31,24 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_{std::move(opts)} {}
 
 SweepResult SweepRunner::run(const SweepSpec& spec,
                              const NamedTopology& default_topo) const {
-  const std::vector<SweepCell> cells = expand_cells(spec, default_topo);
   obs::Stopwatch stopwatch;
+
+  // Declarative topology-axis specs are materialized here, single-threaded
+  // and in list order, into an owned copy of the spec — the generators are
+  // seed-deterministic, so the cell list (and therefore every output byte)
+  // is identical at any thread count.
+  std::optional<SweepSpec> owned;
+  const SweepSpec* effective = &spec;
+  if (!spec.topology_specs.empty()) {
+    owned.emplace(spec);
+    for (NamedTopology& nt : owned->materialize_topologies()) {
+      owned->topologies.push_back(std::move(nt));
+    }
+    owned->topology_specs.clear();
+    effective = &*owned;
+  }
+
+  const std::vector<SweepCell> cells = expand_cells(*effective, default_topo);
 
   SweepResult result;
   result.runs.resize(cells.size());

@@ -1,7 +1,13 @@
-// Topology builders: the networks the paper's figures and our experiments
-// run on.
+// Legacy topology builders: the networks the paper's figures run on.
 //
-// Three families:
+// DEPRECATED as an API surface: new code should go through the string-keyed
+// TopologyBuilder registry (src/net/builders/registry.h) with a validated
+// GraphSpec — every function below is reachable there as a family
+// ("arpanet87", "two-region", "ring", "grid", "random", "clustered",
+// "milnet"), alongside the internet-scale families (hier-as, waxman, ba,
+// fat-tree, leo-grid). These free functions remain as thin shims so
+// existing call sites keep compiling; they will not grow new parameters.
+//
 //   * arpanet87()  — a 47-PSN / 75-trunk network resembling the July 1987
 //     ARPANET (section 5's "the ARPANET topology is rich with alternate
 //     paths"): heterogeneous trunking (9.6 kb/s tails, 56 kb/s core,

@@ -1,0 +1,141 @@
+// Structured fabrics: fat-tree datacenter networks and LEO constellation
+// grids with orbit-dependent propagation delay.
+//
+// Both families are fully structural — no randomness at all — so the same
+// GraphSpec is byte-identical by construction. The LEO grid generalizes the
+// paper's satellite Min/Max trunking: instead of one fixed satellite delay,
+// every inter-plane trunk's propagation delay depends on where along the
+// orbit it sits (cross-plane distances shrink toward the seam of the
+// inclined orbits).
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "src/net/builders/registry.h"
+
+namespace arpanet::net::builders::families {
+
+namespace {
+
+/// Mean Earth radius (km) and the speed of light in vacuum (km per ms) —
+/// inter-satellite laser links propagate at c, not fiber speed.
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kVacuumKmPerMs = 299.792458;
+
+}  // namespace
+
+Topology fat_tree(const GraphSpec& spec) {
+  // A k-ary fat-tree (Al-Fares et al.): (k/2)^2 core switches and k pods of
+  // k/2 aggregation + k/2 edge switches — 5k^2/4 nodes, k^3/2 trunks. Each
+  // pod is a complete agg<->edge bipartite graph on multi-trunk lines;
+  // aggregation switch j reaches core switches [j*k/2, (j+1)*k/2) on
+  // 230.4 kb/s lines. When k is not given it is derived as the largest even
+  // k whose fabric fits in the requested node count.
+  auto k = static_cast<std::size_t>(spec.param("k", 0));
+  if (k == 0) {
+    k = 2;
+    while (5 * (k + 2) * (k + 2) / 4 <= spec.nodes()) k += 2;
+  }
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat-tree: k must be even and >= 2");
+  }
+  const std::size_t half = k / 2;
+
+  Topology topo;
+  topo.reserve(5 * k * k / 4, k * k * k / 2);
+  for (std::size_t i = 0; i < half * half; ++i) {
+    topo.add_node("ft-core" + std::to_string(i));
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t a = 0; a < half; ++a) {
+      topo.add_node("ft-p" + std::to_string(p) + "-a" + std::to_string(a));
+    }
+    for (std::size_t e = 0; e < half; ++e) {
+      topo.add_node("ft-p" + std::to_string(p) + "-e" + std::to_string(e));
+    }
+  }
+  const auto agg_id = [&](std::size_t pod, std::size_t a) {
+    return static_cast<NodeId>(half * half + pod * k + a);
+  };
+  const auto edge_id = [&](std::size_t pod, std::size_t e) {
+    return static_cast<NodeId>(half * half + pod * k + half + e);
+  };
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t e = 0; e < half; ++e) {
+        topo.add_duplex(agg_id(p, a), edge_id(p, e), LineType::kMultiTrunk112);
+      }
+      for (std::size_t c = 0; c < half; ++c) {
+        topo.add_duplex(agg_id(p, a), static_cast<NodeId>(a * half + c),
+                        LineType::kTerrestrial230);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology leo_grid(const GraphSpec& spec) {
+  // A Walker-style constellation: `planes` orbital planes of `per_plane`
+  // satellites, linked as a torus (ring within each plane, ring across
+  // planes at each slot). Intra-plane distance is constant — satellites in
+  // one plane keep their spacing — while inter-plane distance contracts by
+  // cos(latitude) as the inclined orbits converge, with a floor so seam
+  // trunks never reach zero: that is the orbit-dependent delay.
+  const std::size_t n = spec.nodes();
+  auto planes = static_cast<std::size_t>(spec.param("planes", 0));
+  auto per_plane = static_cast<std::size_t>(spec.param("per_plane", 0));
+  if (planes == 0 && per_plane == 0) {
+    planes = std::max<std::size_t>(
+        3, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+    per_plane = std::max<std::size_t>(3, n / planes);
+  } else if (planes == 0) {
+    planes = std::max<std::size_t>(3, n / per_plane);
+  } else if (per_plane == 0) {
+    per_plane = std::max<std::size_t>(3, n / planes);
+  }
+  if (planes < 3 || per_plane < 3) {
+    throw std::invalid_argument(
+        "leo-grid: need >= 3 planes and >= 3 satellites per plane");
+  }
+  const double altitude_km = spec.param("altitude_km", 550.0);
+  const double inclination_rad =
+      spec.param("inclination_deg", 53.0) * std::numbers::pi / 180.0;
+  const double orbit_km =
+      2.0 * std::numbers::pi * (kEarthRadiusKm + altitude_km);
+  const util::SimTime intra_delay = util::SimTime::from_ms(
+      orbit_km / static_cast<double>(per_plane) / kVacuumKmPerMs);
+
+  Topology topo;
+  topo.reserve(planes * per_plane, 2 * planes * per_plane);
+  for (std::size_t p = 0; p < planes; ++p) {
+    for (std::size_t s = 0; s < per_plane; ++s) {
+      topo.add_node("leo-p" + std::to_string(p) + "-s" + std::to_string(s));
+    }
+  }
+  const auto sat = [&](std::size_t p, std::size_t s) {
+    return static_cast<NodeId>(p * per_plane + s);
+  };
+  for (std::size_t p = 0; p < planes; ++p) {
+    for (std::size_t s = 0; s < per_plane; ++s) {
+      topo.add_duplex(sat(p, s), sat(p, (s + 1) % per_plane),
+                      LineType::kSatellite56, intra_delay);
+      // Latitude of slot s along the inclined orbit; cross-plane spacing
+      // contracts toward the orbit's extremes, floored at 10%.
+      const double lat =
+          inclination_rad *
+          std::sin(2.0 * std::numbers::pi * static_cast<double>(s) /
+                   static_cast<double>(per_plane));
+      const double factor = std::max(0.1, std::cos(lat));
+      const double inter_km =
+          orbit_km / static_cast<double>(planes) * factor;
+      topo.add_duplex(sat(p, s), sat((p + 1) % planes, s),
+                      LineType::kSatellite56,
+                      util::SimTime::from_ms(inter_km / kVacuumKmPerMs));
+    }
+  }
+  return topo;
+}
+
+}  // namespace arpanet::net::builders::families

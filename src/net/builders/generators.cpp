@@ -13,7 +13,20 @@ namespace arpanet::net::builders {
 namespace {
 
 std::string num_name(const std::string& prefix, int i) {
-  return prefix + std::to_string(i);
+  std::string name = prefix;
+  name += std::to_string(i);
+  return name;
+}
+
+/// "<p1><a>_<b>"-style two-index names, built with += so no
+/// `const char* + std::string&&` concatenation is emitted (GCC 12's
+/// -Wrestrict misfires on that pattern under heavy inlining).
+std::string pair_name(const char* p1, int a, const char* p2, int b) {
+  std::string name = p1;
+  name += std::to_string(a);
+  name += p2;
+  name += std::to_string(b);
+  return name;
 }
 
 }  // namespace
@@ -36,7 +49,7 @@ Topology grid(int width, int height, LineType type) {
   Topology topo;
   for (int r = 0; r < height; ++r) {
     for (int c = 0; c < width; ++c) {
-      topo.add_node("g" + std::to_string(r) + "_" + std::to_string(c));
+      topo.add_node(pair_name("g", r, "_", c));
     }
   }
   const auto at = [width](int r, int c) {
@@ -99,8 +112,7 @@ Topology clustered(const ClusterSpec& spec, util::Rng& rng) {
   for (int c = 0; c < spec.clusters; ++c) {
     auto& m = members[static_cast<std::size_t>(c)];
     for (int i = 0; i < spec.nodes_per_cluster; ++i) {
-      m.push_back(topo.add_node("c" + std::to_string(c) + "n" +
-                                std::to_string(i)));
+      m.push_back(topo.add_node(pair_name("c", c, "n", i)));
     }
     // Intra-cluster ring (every node gets >= 2 trunks) plus random chords.
     for (int i = 0; i < spec.nodes_per_cluster; ++i) {
@@ -143,8 +155,7 @@ Topology milnet_like() {
   for (int c = 0; c < kClusters; ++c) {
     auto& m = members[static_cast<std::size_t>(c)];
     for (int i = 0; i < kPerCluster; ++i) {
-      m.push_back(topo.add_node("m" + std::to_string(c) + "n" +
-                                std::to_string(i)));
+      m.push_back(topo.add_node(pair_name("m", c, "n", i)));
     }
     for (int i = 0; i < kPerCluster; ++i) {
       // Every fourth ring section is a 9.6 kb/s tail trunk.

@@ -1,0 +1,264 @@
+// Internet-like topology families: hierarchical AS graphs, Waxman random
+// graphs, and Barabási–Albert preferential-attachment graphs.
+//
+// All three draw randomness only from a util::Rng seeded with the spec's
+// seed, and add nodes and trunks in a fixed sequential order, so the same
+// GraphSpec produces a byte-identical topology (names, node ids, link ids,
+// delays) on every run and at any sweep thread count.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/builders/registry.h"
+#include "src/util/rng.h"
+
+namespace arpanet::net::builders::families {
+
+namespace {
+
+/// Speed of light in terrestrial fiber, used to turn generated distances
+/// into propagation delays: roughly 200 km per millisecond.
+constexpr double kFiberKmPerMs = 200.0;
+
+std::string num_name(const char* prefix, std::size_t i) {
+  return prefix + std::to_string(i);
+}
+
+/// Picks `count` distinct values in [0, n) from `rng`. Redraws on
+/// duplicates, falling back to the smallest unused value so the loop is
+/// bounded even for count close to n.
+std::vector<NodeId> distinct_picks(util::Rng& rng, std::size_t n,
+                                   std::size_t count) {
+  std::vector<NodeId> picks;
+  picks.reserve(count);
+  while (picks.size() < count) {
+    NodeId candidate = kInvalidNode;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto c = static_cast<NodeId>(rng.uniform_index(n));
+      if (std::find(picks.begin(), picks.end(), c) == picks.end()) {
+        candidate = c;
+        break;
+      }
+    }
+    if (candidate == kInvalidNode) {
+      for (NodeId c = 0; c < n; ++c) {
+        if (std::find(picks.begin(), picks.end(), c) == picks.end()) {
+          candidate = c;
+          break;
+        }
+      }
+    }
+    picks.push_back(candidate);
+  }
+  return picks;
+}
+
+}  // namespace
+
+Topology hier_as(const GraphSpec& spec) {
+  // Three tiers mirroring the AS hierarchy: a 2-edge-connected core of
+  // multi-trunk lines (ring plus chords), transit nodes dual-homed into the
+  // core over 56 kb/s trunks, and stub nodes dual-homed into the transits
+  // over 9.6 kb/s tails — the MILNET's slow-tail character at scale.
+  const std::size_t n = spec.nodes();
+  if (n < 8) throw std::invalid_argument("hier-as: need at least 8 nodes");
+
+  auto core = static_cast<std::size_t>(spec.param("core", 0));
+  if (core == 0) core = std::clamp<std::size_t>(n / 100, 4, 64);
+  core = std::min(core, n - 4);  // leave room for transits and stubs
+  if (core < 3) throw std::invalid_argument("hier-as: need a core of >= 3");
+
+  const std::size_t remaining = n - core;
+  const std::size_t transits = std::max<std::size_t>(2, remaining / 7);
+  const std::size_t stubs = remaining - transits;
+
+  util::Rng rng{spec.seed()};
+  Topology topo;
+  topo.reserve(n, core + core / 2 + 2 * transits + 2 * stubs);
+
+  for (std::size_t i = 0; i < core; ++i) topo.add_node(num_name("as-c", i));
+  for (std::size_t i = 0; i < transits; ++i) topo.add_node(num_name("as-t", i));
+  for (std::size_t i = 0; i < stubs; ++i) topo.add_node(num_name("as-s", i));
+
+  // Core ring plus core/2 random chords, deduplicated against the ring.
+  std::vector<std::pair<NodeId, NodeId>> used;
+  const auto try_trunk = [&](NodeId a, NodeId b, LineType type) {
+    if (a == b) return false;
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (std::find(used.begin(), used.end(), key) != used.end()) return false;
+    used.push_back(key);
+    topo.add_duplex(a, b, type);
+    return true;
+  };
+  for (std::size_t i = 0; i < core; ++i) {
+    try_trunk(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % core),
+              LineType::kMultiTrunk112);
+  }
+  const std::size_t chords = core / 2;
+  for (std::size_t added = 0, attempt = 0;
+       added < chords && attempt < 100 * chords + 100; ++attempt) {
+    if (try_trunk(static_cast<NodeId>(rng.uniform_index(core)),
+                  static_cast<NodeId>(rng.uniform_index(core)),
+                  LineType::kMultiTrunk112)) {
+      ++added;
+    }
+  }
+
+  for (std::size_t t = 0; t < transits; ++t) {
+    const auto id = static_cast<NodeId>(core + t);
+    for (const NodeId gw : distinct_picks(rng, core, 2)) {
+      topo.add_duplex(id, gw, LineType::kTerrestrial56);
+    }
+  }
+  for (std::size_t s = 0; s < stubs; ++s) {
+    const auto id = static_cast<NodeId>(core + transits + s);
+    for (const NodeId gw : distinct_picks(rng, transits, 2)) {
+      topo.add_duplex(id, static_cast<NodeId>(core + gw),
+                      LineType::kTerrestrial9_6);
+    }
+  }
+  return topo;
+}
+
+Topology waxman(const GraphSpec& spec) {
+  // BRITE-style incremental Waxman: nodes are placed uniformly in the unit
+  // square, then each new node i attaches m edges to earlier nodes chosen
+  // with probability proportional to alpha * exp(-d / (beta * L)) — nearby
+  // nodes are strongly preferred, giving the geographic flavor of the
+  // original model while guaranteeing connectivity. Incremental attachment
+  // is O(n^2); the registry caps the family's node count accordingly.
+  const std::size_t n = spec.nodes();
+  if (n < 2) throw std::invalid_argument("waxman: need at least 2 nodes");
+  const double alpha = spec.param("alpha", 0.4);
+  const double beta = spec.param("beta", 0.14);
+  const auto m = static_cast<std::size_t>(spec.param("m", 2));
+  const double scale_km = spec.param("scale_km", 4000.0);
+
+  util::Rng rng{spec.seed()};
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    return std::hypot(x[a] - x[b], y[a] - y[b]);
+  };
+  const double scale = 1.0 / (beta * std::sqrt(2.0));  // L = unit-square diameter
+
+  Topology topo;
+  topo.reserve(n, n * m);
+  for (std::size_t i = 0; i < n; ++i) topo.add_node(num_name("w", i));
+
+  std::vector<double> cum;
+  for (std::size_t i = 1; i < n; ++i) {
+    cum.resize(i);
+    double total = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      total += alpha * std::exp(-dist(i, j) * scale);
+      cum[j] = total;
+    }
+    const std::size_t edges = std::min(m, i);
+    std::vector<std::size_t> picks;
+    picks.reserve(edges);
+    while (picks.size() < edges) {
+      std::size_t j = i;  // sentinel: not yet chosen
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const double r = rng.uniform() * total;
+        const auto it = std::upper_bound(cum.begin(), cum.end(), r);
+        const auto c = static_cast<std::size_t>(it - cum.begin());
+        if (c < i && std::find(picks.begin(), picks.end(), c) == picks.end()) {
+          j = c;
+          break;
+        }
+      }
+      if (j == i) {
+        for (std::size_t c = 0; c < i; ++c) {
+          if (std::find(picks.begin(), picks.end(), c) == picks.end()) {
+            j = c;
+            break;
+          }
+        }
+      }
+      picks.push_back(j);
+    }
+    for (const std::size_t j : picks) {
+      const double km = dist(i, j) * scale_km;
+      topo.add_duplex(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                      LineType::kTerrestrial56,
+                      util::SimTime::from_ms(km / kFiberKmPerMs));
+    }
+  }
+  return topo;
+}
+
+Topology barabasi_albert(const GraphSpec& spec) {
+  // Classic preferential attachment: each new node brings m trunks whose far
+  // endpoints are drawn degree-proportionally (uniformly from the repeated-
+  // endpoint list), seeded from a ring of m+1 nodes. Produces the heavy-
+  // tailed degree distribution of AS-level internet maps.
+  const std::size_t n = spec.nodes();
+  const auto m = static_cast<std::size_t>(spec.param("m", 2));
+  if (n < m + 1) {
+    throw std::invalid_argument("ba: need nodes >= m + 1");
+  }
+
+  util::Rng rng{spec.seed()};
+  Topology topo;
+  topo.reserve(n, (n - m - 1) * m + m + 1);
+  for (std::size_t i = 0; i < n; ++i) topo.add_node(num_name("b", i));
+
+  // Each trunk endpoint is appended to `endpoints`, so a uniform draw from
+  // it is a degree-proportional draw over nodes.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * ((n - m - 1) * m + m + 1));
+  const std::size_t seed_ring = m + 1;
+  if (seed_ring == 2) {
+    topo.add_duplex(0, 1, LineType::kTerrestrial56);
+    endpoints.insert(endpoints.end(), {0, 1});
+  } else {
+    for (std::size_t i = 0; i < seed_ring; ++i) {
+      const auto a = static_cast<NodeId>(i);
+      const auto b = static_cast<NodeId>((i + 1) % seed_ring);
+      topo.add_duplex(a, b, LineType::kTerrestrial56);
+      endpoints.insert(endpoints.end(), {a, b});
+    }
+  }
+
+  std::vector<NodeId> picks;
+  for (std::size_t v = seed_ring; v < n; ++v) {
+    picks.clear();
+    while (picks.size() < m) {
+      NodeId u = kInvalidNode;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId c = endpoints[rng.uniform_index(endpoints.size())];
+        if (std::find(picks.begin(), picks.end(), c) == picks.end()) {
+          u = c;
+          break;
+        }
+      }
+      if (u == kInvalidNode) {
+        for (NodeId c = 0; c < v; ++c) {
+          if (std::find(picks.begin(), picks.end(), c) == picks.end()) {
+            u = c;
+            break;
+          }
+        }
+      }
+      picks.push_back(u);
+    }
+    const auto id = static_cast<NodeId>(v);
+    for (const NodeId u : picks) {
+      topo.add_duplex(id, u, LineType::kTerrestrial56);
+      endpoints.push_back(u);
+    }
+    endpoints.insert(endpoints.end(), m, id);
+  }
+  return topo;
+}
+
+}  // namespace arpanet::net::builders::families

@@ -1,0 +1,238 @@
+#include "src/net/builders/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/net/builders/builders.h"
+#include "src/util/rng.h"
+
+namespace arpanet::net {
+
+namespace {
+
+using builders::families::barabasi_albert;
+using builders::families::fat_tree;
+using builders::families::hier_as;
+using builders::families::leo_grid;
+using builders::families::waxman;
+
+// ---- adapters wrapping the classic builders behind GraphSpec ----
+
+Topology build_arpanet87(const GraphSpec& /*spec*/) {
+  return builders::arpanet87().topo;
+}
+
+Topology build_two_region(const GraphSpec& spec) {
+  auto per = static_cast<std::size_t>(spec.param("per_region", 0));
+  if (per == 0) {
+    if (spec.nodes() % 2 != 0) {
+      throw std::invalid_argument("two-region: nodes must be even");
+    }
+    per = spec.nodes() / 2;
+  }
+  return builders::two_region(static_cast<int>(per)).topo;
+}
+
+Topology build_ring(const GraphSpec& spec) {
+  return builders::ring(static_cast<int>(spec.nodes()));
+}
+
+Topology build_grid(const GraphSpec& spec) {
+  auto w = static_cast<std::size_t>(spec.param("width", 0));
+  auto h = static_cast<std::size_t>(spec.param("height", 0));
+  const std::size_t n = spec.nodes();
+  if (w == 0 && h == 0) {
+    w = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(std::sqrt(
+               static_cast<double>(n)))));
+    h = std::max<std::size_t>(2, (n + w - 1) / w);
+  } else if (w == 0) {
+    w = std::max<std::size_t>(2, (n + h - 1) / h);
+  } else if (h == 0) {
+    h = std::max<std::size_t>(2, (n + w - 1) / w);
+  }
+  return builders::grid(static_cast<int>(w), static_cast<int>(h));
+}
+
+Topology build_random(const GraphSpec& spec) {
+  util::Rng rng{spec.seed()};
+  const int extra = spec.has_param("extra")
+                        ? static_cast<int>(spec.param("extra", 0))
+                        : static_cast<int>(spec.nodes() / 4);
+  return builders::random_connected(static_cast<int>(spec.nodes()), extra, rng);
+}
+
+Topology build_clustered(const GraphSpec& spec) {
+  builders::ClusterSpec cs;
+  cs.clusters = static_cast<int>(spec.param("clusters", 4));
+  cs.nodes_per_cluster =
+      spec.has_param("per_cluster")
+          ? static_cast<int>(spec.param("per_cluster", 0))
+          : static_cast<int>(std::max<std::size_t>(
+                3, spec.nodes() / static_cast<std::size_t>(cs.clusters)));
+  cs.intra_extra = static_cast<int>(spec.param("intra_extra", 2));
+  cs.inter_trunks = static_cast<int>(spec.param("inter_trunks", 2));
+  util::Rng rng{spec.seed()};
+  return builders::clustered(cs, rng);
+}
+
+Topology build_milnet(const GraphSpec& /*spec*/) {
+  return builders::milnet_like();
+}
+
+// ---- the family table ----
+
+using ParamInfo = TopologyBuilder::ParamInfo;
+using FamilyInfo = TopologyBuilder::FamilyInfo;
+
+constexpr ParamInfo kTwoRegionParams[] = {
+    {"per_region", 0, 4096, 0, "nodes per region (0 = nodes/2)"},
+};
+constexpr ParamInfo kGridParams[] = {
+    {"width", 0, 4096, 0, "grid width (0 = derive near-square from nodes)"},
+    {"height", 0, 4096, 0, "grid height (0 = derive from nodes and width)"},
+};
+constexpr ParamInfo kRandomParams[] = {
+    {"extra", 0, 1e6, 0, "chords beyond the spanning tree (default nodes/4)"},
+};
+constexpr ParamInfo kClusteredParams[] = {
+    {"clusters", 3, 1024, 4, "number of clusters"},
+    {"per_cluster", 0, 4096, 0, "nodes per cluster (0 = nodes/clusters)"},
+    {"intra_extra", 0, 64, 2, "random chords inside each cluster"},
+    {"inter_trunks", 1, 16, 2, "trunks between adjacent clusters"},
+};
+constexpr ParamInfo kHierAsParams[] = {
+    {"core", 0, 1024, 0, "core nodes (0 = clamp(nodes/100, 4, 64))"},
+};
+constexpr ParamInfo kWaxmanParams[] = {
+    {"alpha", 1e-6, 1.0, 0.4, "Waxman edge-probability scale"},
+    {"beta", 1e-6, 1.0, 0.14, "Waxman distance decay"},
+    {"m", 1, 16, 2, "edges added per node"},
+    {"scale_km", 1, 20000, 4000, "unit-square edge length in km (sets delay)"},
+};
+constexpr ParamInfo kBaParams[] = {
+    {"m", 1, 16, 2, "edges added per node"},
+};
+constexpr ParamInfo kFatTreeParams[] = {
+    {"k", 0, 128, 0, "fat-tree arity, even (0 = largest fitting nodes)"},
+};
+constexpr ParamInfo kLeoGridParams[] = {
+    {"planes", 0, 1024, 0, "orbital planes (0 = ~sqrt(nodes))"},
+    {"per_plane", 0, 1024, 0, "satellites per plane (0 = nodes/planes)"},
+    {"altitude_km", 200, 2000, 550, "orbit altitude"},
+    {"inclination_deg", 0, 90, 53, "orbit inclination"},
+};
+
+const FamilyInfo kFamilies[] = {
+    {"arpanet87", "the 47-PSN / 75-trunk July 1987 ARPANET", build_arpanet87,
+     {}, 47, 47, 47},
+    {"two-region", "figure 1's two regions joined by two parallel trunks",
+     build_two_region, kTwoRegionParams, 12, 6, 8192},
+    {"ring", "cycle of 56 kb/s terrestrial trunks", build_ring, {}, 8, 3, 0},
+    {"grid", "width x height mesh", build_grid, kGridParams, 16, 4, 0},
+    {"random", "random spanning tree plus chords", build_random, kRandomParams,
+     16, 2, 100000},
+    {"clustered", "rings of clusters joined by gateway trunks",
+     build_clustered, kClusteredParams, 24, 9, 100000},
+    {"milnet", "the MILNET-like 112-PSN deployment", build_milnet, {}, 112,
+     112, 112},
+    {"hier-as", "three-tier AS hierarchy: core / transit / stub", hier_as,
+     kHierAsParams, 512, 8, 0},
+    {"waxman", "geometric Waxman random graph (O(n^2) build)", waxman,
+     kWaxmanParams, 256, 2, 20000},
+    {"ba", "Barabasi-Albert preferential attachment", barabasi_albert,
+     kBaParams, 1024, 2, 0},
+    {"fat-tree", "k-ary fat-tree datacenter fabric", fat_tree, kFatTreeParams,
+     80, 5, 0},
+    {"leo-grid", "LEO constellation torus, orbit-dependent delay", leo_grid,
+     kLeoGridParams, 64, 9, 0},
+};
+
+std::string known_family_names() {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < std::size(kFamilies); ++i) {
+    if (i != 0) out << ", ";
+    out << kFamilies[i].name;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+const TopologyBuilder& TopologyBuilder::registry() {
+  static const TopologyBuilder instance;
+  return instance;
+}
+
+bool TopologyBuilder::has_family(std::string_view name) const {
+  return std::any_of(std::begin(kFamilies), std::end(kFamilies),
+                     [name](const FamilyInfo& f) { return f.name == name; });
+}
+
+const TopologyBuilder::FamilyInfo& TopologyBuilder::family(
+    std::string_view name) const {
+  for (const FamilyInfo& f : kFamilies) {
+    if (f.name == name) return f;
+  }
+  throw std::invalid_argument("unknown topology family '" + std::string(name) +
+                              "' (known: " + known_family_names() + ")");
+}
+
+std::span<const TopologyBuilder::FamilyInfo> TopologyBuilder::families() const {
+  return kFamilies;
+}
+
+std::size_t TopologyBuilder::validate(const GraphSpec& spec) const {
+  const FamilyInfo& fam = family(spec.family());
+  for (const auto& [key, value] : spec.params()) {
+    const auto it =
+        std::find_if(fam.params.begin(), fam.params.end(),
+                     [&key](const ParamInfo& p) { return p.key == key; });
+    if (it == fam.params.end()) {
+      std::ostringstream msg;
+      msg << "topology family '" << fam.name << "' has no parameter '" << key
+          << "'";
+      if (!fam.params.empty()) {
+        msg << " (known:";
+        for (const ParamInfo& p : fam.params) msg << " " << p.key;
+        msg << ")";
+      }
+      throw std::invalid_argument(msg.str());
+    }
+    if (value < it->min_value || value > it->max_value) {
+      std::ostringstream msg;
+      msg << "topology family '" << fam.name << "': parameter '" << key
+          << "' = " << value << " outside [" << it->min_value << ", "
+          << it->max_value << "]";
+      throw std::invalid_argument(msg.str());
+    }
+  }
+
+  const std::size_t nodes = spec.nodes() != 0 ? spec.nodes() : fam.default_nodes;
+  if (nodes < fam.min_nodes || (fam.max_nodes != 0 && nodes > fam.max_nodes)) {
+    std::ostringstream msg;
+    msg << "topology family '" << fam.name << "': node count " << nodes
+        << " outside [" << fam.min_nodes << ", ";
+    if (fam.max_nodes != 0) {
+      msg << fam.max_nodes;
+    } else {
+      msg << "unbounded";
+    }
+    msg << "]";
+    throw std::invalid_argument(msg.str());
+  }
+  return nodes;
+}
+
+Topology TopologyBuilder::build(const GraphSpec& spec) const {
+  GraphSpec effective = spec;
+  effective.with_nodes(validate(spec));
+  Topology topo = family(spec.family()).build(effective);
+  topo.finalize();
+  return topo;
+}
+
+}  // namespace arpanet::net

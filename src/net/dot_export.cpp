@@ -2,11 +2,21 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace arpanet::net {
 
 void write_dot(std::ostream& out, const Topology& topo,
                const TrunkLabeler& labeler) {
+  if (topo.node_count() > kDotExportMaxNodes) {
+    throw std::invalid_argument(
+        "dot export refused: topology has " +
+        std::to_string(topo.node_count()) + " nodes, cap is " +
+        std::to_string(kDotExportMaxNodes) +
+        " (graphviz output is unusable at this scale; use topology_io "
+        "instead)");
+  }
   out << "graph arpanet {\n"
       << "  layout=neato;\n  overlap=false;\n  splines=true;\n"
       << "  node [shape=box, fontsize=9, height=0.2, width=0.4];\n"

@@ -18,6 +18,12 @@ namespace arpanet::net {
 /// an empty string for no label.
 using TrunkLabeler = std::function<std::string(const Link&)>;
 
+/// Largest topology the DOT export accepts. Graphviz output (and graphviz
+/// itself) is useless at generated-family scale — a 100k-node graph would
+/// emit hundreds of megabytes — so write_dot/to_dot throw
+/// std::invalid_argument above this cap instead of producing the file.
+inline constexpr std::size_t kDotExportMaxNodes = 2048;
+
 void write_dot(std::ostream& out, const Topology& topo,
                const TrunkLabeler& labeler = nullptr);
 

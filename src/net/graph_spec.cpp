@@ -1,0 +1,147 @@
+#include "src/net/graph_spec.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/check.h"
+
+namespace arpanet::net {
+namespace {
+
+/// Formats a parameter value the way label() and parse() agree on: integers
+/// without a decimal point, everything else with enough digits to round-trip.
+std::string format_value(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+double parse_value(std::string_view text, std::string_view key) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() ||
+      !std::isfinite(value)) {
+    throw std::invalid_argument("graph spec: bad value for '" +
+                                std::string(key) + "': " + std::string(text));
+  }
+  return value;
+}
+
+}  // namespace
+
+GraphSpec::GraphSpec(std::string family) { with_family(std::move(family)); }
+
+GraphSpec& GraphSpec::with_family(std::string family) {
+  ARPA_CHECK(!family.empty()) << "GraphSpec family must be non-empty";
+  family_ = std::move(family);
+  return *this;
+}
+
+GraphSpec& GraphSpec::with_nodes(std::size_t n) {
+  ARPA_CHECK(n > 0) << "GraphSpec nodes must be positive";
+  nodes_ = n;
+  return *this;
+}
+
+GraphSpec& GraphSpec::with_seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+GraphSpec& GraphSpec::with_param(std::string key, double value) {
+  ARPA_CHECK(!key.empty()) << "GraphSpec param key must be non-empty";
+  ARPA_CHECK(std::isfinite(value))
+      << "GraphSpec param '" << key << "' must be finite";
+  const auto it = std::lower_bound(
+      params_.begin(), params_.end(), key,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  if (it != params_.end() && it->first == key) {
+    it->second = value;
+  } else {
+    params_.insert(it, {std::move(key), value});
+  }
+  return *this;
+}
+
+GraphSpec& GraphSpec::with_label(std::string label) {
+  ARPA_CHECK(!label.empty()) << "GraphSpec label must be non-empty";
+  label_ = std::move(label);
+  return *this;
+}
+
+bool GraphSpec::has_param(std::string_view key) const {
+  return std::any_of(params_.begin(), params_.end(),
+                     [key](const auto& kv) { return kv.first == key; });
+}
+
+double GraphSpec::param(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : params_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string GraphSpec::label() const {
+  if (!label_.empty()) return label_;
+  std::ostringstream out;
+  out << family_;
+  if (nodes_ > 0) out << "-n" << nodes_;
+  out << "-s" << seed_;
+  for (const auto& [k, v] : params_) out << "-" << k << format_value(v);
+  return out.str();
+}
+
+GraphSpec GraphSpec::parse(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  const std::string_view family =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  if (family.empty()) {
+    throw std::invalid_argument("graph spec: empty family in '" +
+                                std::string(text) + "'");
+  }
+  GraphSpec spec{std::string(family)};
+  if (colon == std::string_view::npos) return spec;
+
+  std::string_view rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == 0 || eq == std::string_view::npos) {
+      throw std::invalid_argument("graph spec: expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    const double num = parse_value(value, key);
+    if (key == "nodes") {
+      if (num < 1 || num != std::floor(num)) {
+        throw std::invalid_argument(
+            "graph spec: nodes must be a positive integer");
+      }
+      spec.with_nodes(static_cast<std::size_t>(num));
+    } else if (key == "seed") {
+      if (num < 0 || num != std::floor(num)) {
+        throw std::invalid_argument(
+            "graph spec: seed must be a non-negative integer");
+      }
+      spec.with_seed(static_cast<std::uint64_t>(num));
+    } else {
+      spec.with_param(std::string(key), num);
+    }
+  }
+  return spec;
+}
+
+}  // namespace arpanet::net

@@ -1,0 +1,81 @@
+// GraphSpec: the validated, declarative description of a generated topology.
+//
+// A spec names a topology family (a key in the TopologyBuilder registry,
+// src/net/builders/registry.h), a target node count, a seed, and a sorted
+// list of named numeric parameters:
+//
+//   auto spec = net::GraphSpec{"ba"}
+//                   .with_nodes(10'000)
+//                   .with_seed(42)
+//                   .with_param("m", 2);
+//   net::Topology topo = net::TopologyBuilder::registry().build(spec);
+//
+// The same spec + seed always produces a byte-identical graph — node names,
+// node ids, link ids and propagation delays — regardless of where or on how
+// many sweep threads it is built; that determinism contract is what lets the
+// sweep engine treat a GraphSpec as a plain axis value.
+//
+// Validation: the fluent setters enforce their own argument invariants with
+// ARPA_CHECK (a malformed spec is a programming error and aborts, which the
+// death tests pin); family existence and per-family parameter ranges are
+// checked by the registry at build time with std::invalid_argument (a bad
+// *combination* can come from user input, e.g. an arpanet_sim --topology
+// string, and must be catchable).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace arpanet::net {
+
+class GraphSpec {
+ public:
+  GraphSpec() = default;
+  explicit GraphSpec(std::string family);
+
+  // ---- fluent, validated setters ----
+  GraphSpec& with_family(std::string family);  ///< rejects empty names
+  GraphSpec& with_nodes(std::size_t n);        ///< rejects 0
+  GraphSpec& with_seed(std::uint64_t seed);
+  /// Sets (or replaces) a named numeric parameter. Rejects empty keys and
+  /// non-finite values. Parameters are kept sorted by key, so two specs with
+  /// the same parameters compare and hash identically whatever the call
+  /// order.
+  GraphSpec& with_param(std::string key, double value);
+  /// Overrides the derived label (the name used in sweep CSV/JSON output).
+  GraphSpec& with_label(std::string label);
+
+  [[nodiscard]] const std::string& family() const { return family_; }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] bool has_param(std::string_view key) const;
+  /// The parameter's value, or `fallback` when the spec does not set it.
+  [[nodiscard]] double param(std::string_view key, double fallback) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& params()
+      const {
+    return params_;
+  }
+
+  /// The spec's report label: the explicit label if set, otherwise derived
+  /// deterministically from the axes, e.g. "ba-n10000-s42-m2".
+  [[nodiscard]] std::string label() const;
+
+  /// Parses the arpanet_sim-style spec string
+  /// "family[:key=value[,key=value...]]" where the keys `nodes` and `seed`
+  /// set those fields and every other key becomes a parameter. Throws
+  /// std::invalid_argument on malformed input (user-facing).
+  [[nodiscard]] static GraphSpec parse(std::string_view text);
+
+ private:
+  std::string family_;
+  std::size_t nodes_ = 0;  ///< 0 = family default
+  std::uint64_t seed_ = 0x19870726ULL;
+  std::vector<std::pair<std::string, double>> params_;  ///< sorted by key
+  std::string label_;
+};
+
+}  // namespace arpanet::net

@@ -5,14 +5,24 @@
 // simplex links, one per direction, each with its own queue, measured delay
 // and reported cost. Topology is immutable structure; mutable routing state
 // (costs, queue depths) is held outside it, indexed by LinkId.
+//
+// Storage is CSR (compressed sparse row): every node's out-links live in one
+// contiguous slice of two parallel flat arrays — link ids and target nodes —
+// so SPF, flooding and forwarding walk cache-linear memory instead of chasing
+// per-node vectors. The CSR index is a cache over the link list, rebuilt
+// lazily (and thread-safely) after mutations; per-node out-link order is the
+// insertion order of add_duplex, exactly as the old per-node vectors kept it.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/line_type.h"
@@ -45,6 +55,17 @@ struct Link {
 /// indices, so per-node/per-link state elsewhere is a plain vector.
 class Topology {
  public:
+  Topology() = default;
+  Topology(const Topology& other);
+  Topology& operator=(const Topology& other);
+  Topology(Topology&& other) noexcept;
+  Topology& operator=(Topology&& other) noexcept;
+  ~Topology() = default;
+
+  /// Pre-sizes the node and link storage (generators know both counts up
+  /// front; 100k-node builds should not pay re-allocation churn).
+  void reserve(std::size_t nodes, std::size_t trunks);
+
   /// Adds a PSN. Names must be unique; used in reports and for lookups.
   NodeId add_node(std::string name);
 
@@ -68,18 +89,78 @@ class Topology {
   /// Throws std::out_of_range if no node has this name.
   [[nodiscard]] NodeId node_by_name(std::string_view name) const;
 
-  /// Outgoing simplex links of a node.
+  /// Outgoing simplex links of a node: one contiguous CSR slice, in
+  /// add_duplex insertion order.
   [[nodiscard]] std::span<const LinkId> out_links(NodeId node) const {
-    return out_links_.at(node);
+    ensure_csr();
+    check_node(node);
+    return {csr_links_.data() + csr_start_[node],
+            csr_links_.data() + csr_start_[node + 1]};
   }
+
+  /// Target nodes of the same slice, parallel to out_links(node): the SPF
+  /// inner loop reads the neighbor id without touching the 48-byte Link.
+  [[nodiscard]] std::span<const NodeId> out_targets(NodeId node) const {
+    ensure_csr();
+    check_node(node);
+    return {csr_to_.data() + csr_start_[node],
+            csr_to_.data() + csr_start_[node + 1]};
+  }
+
+  /// Position of `link` inside its from-node's out_links slice. Per-out-link
+  /// state held in out_links order (e.g. a PSN's output queues) is then an
+  /// O(1) lookup instead of a linear scan.
+  [[nodiscard]] std::uint32_t out_pos(LinkId link) const {
+    ensure_csr();
+    if (link >= csr_pos_.size()) {
+      throw std::out_of_range("out_pos: link id out of range");
+    }
+    return csr_pos_[link];
+  }
+
+  /// Builds the CSR index now (it is otherwise built on first access).
+  /// Generators call this before handing a topology to concurrent readers.
+  void finalize() const { ensure_csr(); }
 
   /// True iff every node can reach every other node over the links.
   [[nodiscard]] bool is_connected() const;
 
  private:
+  void check_node(NodeId node) const {
+    if (node >= node_names_.size()) {
+      throw std::out_of_range("node id out of range");
+    }
+  }
+
+  /// Acquire-load fast path; rebuilds under csr_mu_ when the cache is stale.
+  void ensure_csr() const {
+    if (!csr_valid_.load(std::memory_order_acquire)) rebuild_csr();
+  }
+  void rebuild_csr() const;
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> node_names_;
   std::vector<Link> links_;
-  std::vector<std::vector<LinkId>> out_links_;
+  std::unordered_map<std::string, NodeId, StringHash, std::equal_to<>>
+      name_index_;
+
+  // CSR cache over links_: node n's out-links are csr_links_[csr_start_[n]
+  // .. csr_start_[n+1]), csr_to_ holds the matching targets, csr_pos_[l] the
+  // slot of link l within its from-node's slice. Mutable because it is a
+  // lazily-(re)built view of the link list; guarded for concurrent first
+  // access from sweep workers sharing one const Topology.
+  mutable std::vector<std::uint32_t> csr_start_;
+  mutable std::vector<LinkId> csr_links_;
+  mutable std::vector<NodeId> csr_to_;
+  mutable std::vector<std::uint32_t> csr_pos_;
+  mutable std::atomic<bool> csr_valid_{false};
+  mutable std::mutex csr_mu_;
 };
 
 }  // namespace arpanet::net

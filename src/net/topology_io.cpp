@@ -25,20 +25,36 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
-double parse_prop_ms(const std::string& token, int line_no) {
-  constexpr std::string_view kPrefix = "prop_ms=";
-  if (!token.starts_with(kPrefix)) {
-    fail(line_no, "expected prop_ms=<value>, got '" + token + "'");
+/// Accepts both delay forms: the exact integer `prop_us=<microseconds>` the
+/// writer emits (SimTime is integer microseconds, so this round-trips
+/// losslessly) and the legacy `prop_ms=<value>` for hand-written files.
+util::SimTime parse_prop_delay(const std::string& token, int line_no) {
+  constexpr std::string_view kUsPrefix = "prop_us=";
+  constexpr std::string_view kMsPrefix = "prop_ms=";
+  if (token.starts_with(kUsPrefix)) {
+    const std::string_view value{token.data() + kUsPrefix.size(),
+                                 token.size() - kUsPrefix.size()};
+    std::int64_t us = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), us);
+    if (ec != std::errc{} || ptr != value.data() + value.size() || us < 0) {
+      fail(line_no, "bad propagation delay '" + std::string(value) + "'");
+    }
+    return util::SimTime::from_us(us);
   }
-  const std::string_view value{token.data() + kPrefix.size(),
-                               token.size() - kPrefix.size()};
+  if (!token.starts_with(kMsPrefix)) {
+    fail(line_no,
+         "expected prop_ms=<value> or prop_us=<value>, got '" + token + "'");
+  }
+  const std::string_view value{token.data() + kMsPrefix.size(),
+                               token.size() - kMsPrefix.size()};
   double ms = 0.0;
   const auto [ptr, ec] =
       std::from_chars(value.data(), value.data() + value.size(), ms);
   if (ec != std::errc{} || ptr != value.data() + value.size() || ms < 0.0) {
     fail(line_no, "bad propagation delay '" + std::string(value) + "'");
   }
-  return ms;
+  return util::SimTime::from_ms(ms);
 }
 
 }  // namespace
@@ -69,7 +85,7 @@ Topology parse_topology(std::istream& in) {
       }
     } else if (tokens[0] == "trunk") {
       if (tokens.size() != 4 && tokens.size() != 5) {
-        fail(line_no, "usage: trunk <a> <b> <line-type> [prop_ms=<v>]");
+        fail(line_no, "usage: trunk <a> <b> <line-type> [prop_ms=<v>|prop_us=<v>]");
       }
       NodeId a = kInvalidNode;
       NodeId b = kInvalidNode;
@@ -83,8 +99,7 @@ Topology parse_topology(std::istream& in) {
       }
       try {
         if (tokens.size() == 5) {
-          topo.add_duplex(a, b, type,
-                          util::SimTime::from_ms(parse_prop_ms(tokens[4], line_no)));
+          topo.add_duplex(a, b, type, parse_prop_delay(tokens[4], line_no));
         } else {
           topo.add_duplex(a, b, type);
         }
@@ -109,9 +124,12 @@ void write_topology(std::ostream& out, const Topology& topo) {
   }
   for (std::size_t l = 0; l < topo.link_count(); l += 2) {
     const Link& link = topo.link(static_cast<LinkId>(l));
+    // Written as integer microseconds so the generated families' computed
+    // delays (LEO slant ranges, Waxman distances) round-trip bit-exactly;
+    // the parser still accepts prop_ms= for hand-written files.
     out << "trunk " << topo.node_name(link.from) << ' '
         << topo.node_name(link.to) << ' ' << to_string(link.type)
-        << " prop_ms=" << link.prop_delay.ms() << '\n';
+        << " prop_us=" << link.prop_delay.us() << '\n';
   }
 }
 

@@ -8,9 +8,13 @@
 //   node BBN
 //   trunk MIT BBN 56kb-terrestrial
 //   trunk MIT LINCOLN 56kb-terrestrial prop_ms=2.5
+//   trunk BBN LINCOLN 56kb-terrestrial prop_us=2500
 //
 // Line types are the names from net::to_string (e.g. "9.6kb-satellite").
-// `prop_ms=` overrides the line type's default propagation delay.
+// `prop_ms=` / `prop_us=` override the line type's default propagation
+// delay. The writer always emits `prop_us=` (SimTime's native integer
+// microseconds), so write -> parse round-trips every topology bit-exactly,
+// including the generated families' computed delays.
 
 #pragma once
 

@@ -211,7 +211,8 @@ class JsonParser {
 /// diff and handled by the noise-band rate check instead.
 bool is_wall_time_field(const std::string& path) {
   return path == "wall_sec" || path == "events_per_sec" ||
-         path == "ops_per_sec";
+         path == "ops_per_sec" || path == "build_sec" || path == "spf_sec" ||
+         path == "spf_nodes_per_sec";
 }
 
 /// Flattens every numeric leaf of a cell into ("spf.full", value) pairs, in
@@ -291,6 +292,16 @@ const JsonValue* find_scenario(const JsonValue& doc,
 /// Finds a microbenchmark cell by name in a bench document.
 const JsonValue* find_micro(const JsonValue& doc, const std::string& name) {
   const JsonValue* arr = doc.find("micro");
+  if (arr == nullptr || arr->type != JsonValue::Type::kArray) return nullptr;
+  for (const JsonValue& c : arr->array) {
+    if (string_field(c, "name") == name) return &c;
+  }
+  return nullptr;
+}
+
+/// Finds a large-topology cell by name in a bench document.
+const JsonValue* find_topo(const JsonValue& doc, const std::string& name) {
+  const JsonValue* arr = doc.find("topo");
   if (arr == nullptr || arr->type != JsonValue::Type::kArray) return nullptr;
   for (const JsonValue& c : arr->array) {
     if (string_field(c, "name") == name) return &c;
@@ -439,6 +450,59 @@ CompareReport compare_parsed(const JsonValue& base, const JsonValue& cur,
     }
     report.micro.push_back(std::move(delta));
   }
+
+  // Large-topology cells: graph/SPF checksums and the incremental work
+  // profile diff exactly; spf_nodes_per_sec goes through the noise band.
+  const JsonValue* base_topo = base.find("topo");
+  const JsonValue* cur_topo = cur.find("topo");
+  const std::size_t btn = base_topo != nullptr ? base_topo->array.size() : 0;
+  const std::size_t ctn = cur_topo != nullptr ? cur_topo->array.size() : 0;
+  if (btn != ctn) {
+    violate("topo cell count mismatch: baseline " + std::to_string(btn) +
+            " vs current " + std::to_string(ctn));
+    return report;
+  }
+  for (std::size_t i = 0; i < btn; ++i) {
+    const JsonValue& b = base_topo->array[i];
+    const JsonValue& c = cur_topo->array[i];
+    const std::string name = "topo " + string_field(b, "name");
+    if (string_field(b, "name") != string_field(c, "name")) {
+      violate("topo cell " + std::to_string(i) + ": baseline is " + name +
+              " but current is topo " + string_field(c, "name"));
+      continue;
+    }
+    std::vector<std::pair<std::string, double>> bw;
+    std::vector<std::pair<std::string, double>> cw;
+    flatten_numbers(b, "", bw);
+    flatten_numbers(c, "", cw);
+    if (bw != cw) {
+      violate(name + ": deterministic fields drifted (graph/SPF checksums or "
+              "incremental counters); the generator or SPF changed — "
+              "regenerate the baseline if intentional");
+    }
+    CellDelta delta;
+    delta.topology = string_field(b, "name");
+    delta.metric = "topo";
+    delta.baseline_events_per_sec = number_field(b, "spf_nodes_per_sec");
+    delta.current_events_per_sec = number_field(c, "spf_nodes_per_sec");
+    if (rates != nullptr) {
+      const JsonValue* r = find_topo(*rates, delta.topology);
+      if (r != nullptr && number_field(*r, "spf_nodes_per_sec") > 0.0) {
+        delta.baseline_events_per_sec = number_field(*r, "spf_nodes_per_sec");
+        delta.rate_from_artifact = true;
+      }
+    }
+    if (delta.baseline_events_per_sec > 0.0) {
+      delta.ratio = delta.current_events_per_sec / delta.baseline_events_per_sec;
+      if (delta.ratio < 1.0 - options.rate_noise) {
+        violate(name + ": spf_nodes_per_sec " +
+                fmt(delta.baseline_events_per_sec) + " -> " +
+                fmt(delta.current_events_per_sec) + " (" + fmt(delta.ratio) +
+                "x, below the " + fmt(1.0 - options.rate_noise) + " floor)");
+      }
+    }
+    report.topo.push_back(std::move(delta));
+  }
   return report;
 }
 
@@ -477,8 +541,16 @@ void CompareReport::write_text(std::ostream& os) const {
     if (d.rate_from_artifact) os << " [rolling]";
     os << "\n";
   }
+  for (const CellDelta& d : topo) {
+    os << "topo " << d.topology << ": " << fmt(d.baseline_events_per_sec)
+       << " -> " << fmt(d.current_events_per_sec) << " spf-nodes/s";
+    if (d.ratio > 0.0) os << " (" << fmt(d.ratio) << "x)";
+    if (d.rate_from_artifact) os << " [rolling]";
+    os << "\n";
+  }
   if (violations.empty()) {
-    os << "bench_compare: OK (" << cells.size() + micro.size() << " cells)\n";
+    os << "bench_compare: OK (" << cells.size() + micro.size() + topo.size()
+       << " cells)\n";
   } else {
     for (const std::string& v : violations) os << "VIOLATION: " << v << "\n";
   }

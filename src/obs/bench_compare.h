@@ -53,6 +53,7 @@ struct CellDelta {
 struct CompareReport {
   std::vector<CellDelta> cells;
   std::vector<CellDelta> micro;  ///< microbenchmark cells (ops/sec rates)
+  std::vector<CellDelta> topo;   ///< large-topology cells (SPF nodes/sec)
   std::vector<std::string> violations;  ///< empty means the check passed
 
   [[nodiscard]] bool ok() const { return violations.empty(); }

@@ -1,5 +1,7 @@
 #include "src/obs/bench_report.h"
 
+#include <bit>
+#include <cmath>
 #include <ostream>
 #include <regex>
 #include <sstream>
@@ -9,9 +11,12 @@
 #include "src/exp/sweep.h"
 #include "src/exp/sweep_runner.h"
 #include "src/net/builders/builders.h"
+#include "src/net/builders/registry.h"
 #include "src/obs/json_export.h"
 #include "src/obs/stopwatch.h"
+#include "src/routing/spf.h"
 #include "src/sim/event_queue.h"
+#include "src/util/rng.h"
 
 namespace arpanet::obs {
 
@@ -103,6 +108,13 @@ MicroCell run_micro_cell(std::string name, std::uint64_t gap_us,
   return cell;
 }
 
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
 }  // namespace
 
 std::vector<MicroCell> run_micro_cells() {
@@ -144,6 +156,104 @@ std::vector<BenchScenario> bench_battery(const std::string& name) {
   throw std::invalid_argument("unknown bench battery: " + name);
 }
 
+std::vector<net::GraphSpec> topo_battery(const std::string& name) {
+  using net::GraphSpec;
+  std::vector<GraphSpec> specs;
+  if (name == "smoke") {
+    // One small cell per generated family. The golden test pins the graph
+    // and SPF checksums, so these double as end-to-end determinism checks
+    // for the whole builder registry.
+    specs.push_back(
+        GraphSpec{}.with_family("hier-as").with_nodes(512).with_seed(1987));
+    specs.push_back(
+        GraphSpec{}.with_family("waxman").with_nodes(256).with_seed(1987));
+    specs.push_back(GraphSpec{}.with_family("ba").with_nodes(1000).with_seed(
+        1987).with_param("m", 2));
+    specs.push_back(
+        GraphSpec{}.with_family("fat-tree").with_nodes(80).with_seed(1987));
+    specs.push_back(
+        GraphSpec{}.with_family("leo-grid").with_nodes(64).with_seed(1987));
+    return specs;
+  }
+  if (name == "battery") {
+    specs.push_back(
+        GraphSpec{}.with_family("hier-as").with_nodes(8000).with_seed(1987));
+    specs.push_back(
+        GraphSpec{}.with_family("waxman").with_nodes(4000).with_seed(1987));
+    // The 10k-node scale cell: graph build plus SPF throughput at a size
+    // no hand-written topology reaches.
+    specs.push_back(GraphSpec{}.with_family("ba").with_nodes(10000).with_seed(
+        1987).with_param("m", 2));
+    specs.push_back(
+        GraphSpec{}.with_family("fat-tree").with_nodes(2000).with_seed(1987));
+    specs.push_back(
+        GraphSpec{}.with_family("leo-grid").with_nodes(2500).with_seed(1987));
+    return specs;
+  }
+  throw std::invalid_argument("unknown bench battery: " + name);
+}
+
+TopoCell run_topo_cell(const net::GraphSpec& spec) {
+  TopoCell cell;
+  cell.name = spec.label();
+  cell.family = spec.family();
+
+  const Stopwatch build_watch;
+  const net::Topology topo = net::TopologyBuilder::registry().build(spec);
+  cell.build_sec = build_watch.seconds();
+  cell.nodes = topo.node_count();
+  cell.links = topo.link_count();
+
+  std::uint64_t graph_hash = kFnvOffset;
+  routing::LinkCosts costs(topo.link_count());
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const net::Link& link = topo.link(static_cast<net::LinkId>(l));
+    graph_hash = fnv_mix(graph_hash, link.from);
+    graph_hash = fnv_mix(graph_hash, link.to);
+    graph_hash =
+        fnv_mix(graph_hash, static_cast<std::uint64_t>(link.prop_delay.us()));
+    costs[l] = 1.0 + link.prop_delay.ms();
+  }
+  cell.graph_checksum = graph_hash;
+
+  // Full SPF from evenly spaced roots; the checksum covers every node's
+  // distance bits and first hop, so any drift in generator or SPF order
+  // shows up as a byte difference in the report.
+  constexpr std::size_t kRoots = 4;
+  std::uint64_t spf_hash = kFnvOffset;
+  std::uint64_t settled = 0;
+  const Stopwatch spf_watch;
+  for (std::size_t r = 0; r < kRoots; ++r) {
+    const auto root = static_cast<net::NodeId>(r * topo.node_count() / kRoots);
+    const routing::SpfTree tree = routing::Spf::compute(topo, root, costs);
+    for (net::NodeId v = 0; v < topo.node_count(); ++v) {
+      if (std::isfinite(tree.dist[v])) ++settled;
+      spf_hash = fnv_mix(spf_hash, std::bit_cast<std::uint64_t>(tree.dist[v]));
+      spf_hash = fnv_mix(spf_hash, tree.first_hop[v]);
+    }
+  }
+  cell.spf_sec = spf_watch.seconds();
+  cell.spf_roots = kRoots;
+  cell.spf_nodes_settled = settled;
+  cell.spf_checksum = spf_hash;
+
+  // Incremental perturbation stream, seeded from the spec so the resident
+  // algorithm's work profile (localized vs skipped updates, nodes touched)
+  // is reproducible and trend-checkable.
+  routing::IncrementalSpf inc{topo, 0, costs};
+  util::Rng rng{spec.seed() ^ 0x746f706f62656e63ULL};
+  constexpr int kPerturbations = 64;
+  for (int i = 0; i < kPerturbations; ++i) {
+    const auto link =
+        static_cast<net::LinkId>(rng.uniform_index(topo.link_count()));
+    inc.set_cost(link, costs[link] * rng.uniform(0.5, 1.5));
+  }
+  cell.incremental_updates = inc.incremental_updates();
+  cell.skipped_updates = inc.skipped_updates();
+  cell.nodes_touched = inc.nodes_touched();
+  return cell;
+}
+
 BenchReport run_bench_battery(const std::string& battery, int threads) {
   const std::vector<BenchScenario> scenarios = bench_battery(battery);
   BenchReport report;
@@ -167,6 +277,11 @@ BenchReport run_bench_battery(const std::string& battery, int threads) {
     }
   }
   report.micro = run_micro_cells();
+  // Topology cells run serially after the sweep — their order and content
+  // never depend on the sweep thread count.
+  for (const net::GraphSpec& spec : topo_battery(battery)) {
+    report.topo.push_back(run_topo_cell(spec));
+  }
   report.elapsed_sec = stopwatch.seconds();
   return report;
 }
@@ -240,6 +355,27 @@ void BenchReport::write_json(std::ostream& os) const {
     w.end_object();
   }
   w.end_array();
+  w.key("topo").begin_array();
+  for (const TopoCell& t : topo) {
+    w.begin_object();
+    w.member("name", t.name);
+    w.member("family", t.family);
+    w.member("nodes", static_cast<std::uint64_t>(t.nodes));
+    w.member("links", static_cast<std::uint64_t>(t.links));
+    w.member("graph_checksum", t.graph_checksum);
+    w.member("spf_roots", t.spf_roots);
+    w.member("spf_nodes_settled", t.spf_nodes_settled);
+    w.member("spf_checksum", t.spf_checksum);
+    w.member("incremental_updates",
+             static_cast<std::int64_t>(t.incremental_updates));
+    w.member("skipped_updates", static_cast<std::int64_t>(t.skipped_updates));
+    w.member("nodes_touched", static_cast<std::int64_t>(t.nodes_touched));
+    w.member("build_sec", t.build_sec);
+    w.member("spf_sec", t.spf_sec);
+    w.member("spf_nodes_per_sec", t.spf_nodes_per_sec());
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   os << '\n';
 }
@@ -274,6 +410,19 @@ std::vector<std::string> BenchReport::validate() const {
     if (m.ops == 0) errors.push_back(where + "no operations executed");
     if (m.ops_per_sec() <= 0.0) errors.push_back(where + "ops_per_sec is zero");
   }
+  for (const TopoCell& t : topo) {
+    const std::string where = "topo " + t.name + ": ";
+    const auto require = [&](bool ok, const std::string& what) {
+      if (!ok) errors.push_back(where + what);
+    };
+    require(t.nodes > 0, "topology has no nodes");
+    require(t.links > 0, "topology has no links");
+    require(t.spf_nodes_settled >= t.spf_roots * t.nodes,
+            "SPF left nodes unreachable (generated graph not connected)");
+    require(t.incremental_updates + t.skipped_updates > 0,
+            "perturbation stream did no work");
+    require(t.spf_nodes_per_sec() > 0.0, "spf_nodes_per_sec is zero");
+  }
   return errors;
 }
 
@@ -281,7 +430,7 @@ std::string mask_wall_time_fields(const std::string& json) {
   // The writer's formatting is fixed ("key": value, one member per line),
   // so the value extent is everything up to the next comma or newline.
   static const std::regex kWallTime{
-      R"re(("(?:wall_sec|events_per_sec|ops_per_sec|elapsed_sec)": )[^,\n]*)re"};
+      R"re(("(?:wall_sec|events_per_sec|ops_per_sec|elapsed_sec|build_sec|spf_sec|spf_nodes_per_sec)": )[^,\n]*)re"};
   return std::regex_replace(json, kWallTime, "$010");
 }
 

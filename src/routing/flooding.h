@@ -44,6 +44,12 @@ class FloodingState {
  public:
   explicit FloodingState(std::size_t node_count)
       : last_seq_(node_count, 0) {}
+  /// Sized for one slot per node of `topo`.
+  explicit FloodingState(const net::Topology& topo);
+
+  /// Forgets all sequence numbers and counters and resizes for `node_count`
+  /// nodes (a PSN restart loses its flooding memory).
+  void reset(std::size_t node_count);
 
   /// True iff this update is newer than anything previously seen from its
   /// origin; if so, records it (caller should then apply and forward it).
@@ -69,5 +75,14 @@ class FloodingState {
   long accepted_ = 0;
   long duplicates_ = 0;
 };
+
+/// Number of copies a node forwards when a newly-accepted update arrives on
+/// `arrived_on` (an in-link of `node`, or kInvalidLink for a self-originated
+/// update): every outgoing link except the arrival link's reverse. Walks the
+/// topology's CSR span; used by the protocol tests to cross-check the
+/// simulator's flooding fan-out.
+[[nodiscard]] std::size_t flood_copy_count(const net::Topology& topo,
+                                           net::NodeId node,
+                                           net::LinkId arrived_on);
 
 }  // namespace arpanet::routing

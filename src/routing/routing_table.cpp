@@ -1,23 +1,33 @@
 #include "src/routing/routing_table.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace arpanet::routing {
 
 ForwardingTables ForwardingTables::compute_all(const net::Topology& topo,
                                                std::span<const double> costs) {
   ForwardingTables t;
-  t.table_.resize(topo.node_count());
+  t.stride_ = topo.node_count();
+  t.table_.assign(t.stride_ * t.stride_, net::kInvalidLink);
   for (net::NodeId n = 0; n < topo.node_count(); ++n) {
     const SpfTree tree = Spf::compute(topo, n, costs);
-    t.table_[n] = tree.first_hop;
+    std::copy(tree.first_hop.begin(), tree.first_hop.end(),
+              t.table_.begin() + static_cast<std::ptrdiff_t>(n * t.stride_));
   }
   return t;
 }
 
 ForwardingTables ForwardingTables::from_trees(std::span<const SpfTree> trees) {
   ForwardingTables t;
-  t.table_.resize(trees.size());
+  t.stride_ = trees.size();
+  t.table_.assign(t.stride_ * t.stride_, net::kInvalidLink);
   for (const SpfTree& tree : trees) {
-    t.table_.at(tree.root) = tree.first_hop;
+    if (tree.root >= trees.size() || tree.first_hop.size() != t.stride_) {
+      throw std::invalid_argument("from_trees: trees must cover nodes 0..n-1");
+    }
+    std::copy(tree.first_hop.begin(), tree.first_hop.end(),
+              t.table_.begin() + static_cast<std::ptrdiff_t>(tree.root * t.stride_));
   }
   return t;
 }

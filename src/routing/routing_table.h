@@ -12,6 +12,7 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "src/net/topology.h"
@@ -22,6 +23,10 @@ namespace arpanet::routing {
 /// All nodes' forwarding tables, derived from per-node SPF over one shared
 /// cost vector. next_hop(n, d) is the outgoing link node n uses for packets
 /// destined to d (kInvalidLink if d == n or unreachable).
+///
+/// Storage is one flat node-major array (node n's row is the contiguous
+/// stride starting at n * node_count), so the all-pairs analyses that walk
+/// whole rows stream linear memory instead of chasing a vector per node.
 class ForwardingTables {
  public:
   ForwardingTables() = default;
@@ -35,17 +40,32 @@ class ForwardingTables {
   [[nodiscard]] static ForwardingTables from_trees(std::span<const SpfTree> trees);
 
   [[nodiscard]] net::LinkId next_hop(net::NodeId node, net::NodeId dst) const {
-    return table_.at(node).at(dst);
+    return table_[idx(node, dst)];
   }
 
   void set_next_hop(net::NodeId node, net::NodeId dst, net::LinkId link) {
-    table_.at(node).at(dst) = link;
+    table_[idx(node, dst)] = link;
   }
 
-  [[nodiscard]] std::size_t node_count() const { return table_.size(); }
+  /// Node n's full row: next hop per destination, indexed by NodeId.
+  [[nodiscard]] std::span<const net::LinkId> row(net::NodeId node) const {
+    return {table_.data() + idx(node, 0), stride_};
+  }
+
+  [[nodiscard]] std::size_t node_count() const {
+    return stride_ == 0 ? 0 : table_.size() / stride_;
+  }
 
  private:
-  std::vector<std::vector<net::LinkId>> table_;
+  [[nodiscard]] std::size_t idx(net::NodeId node, net::NodeId dst) const {
+    if (node >= node_count() || dst >= stride_) {
+      throw std::out_of_range("ForwardingTables: node or destination id out of range");
+    }
+    return node * stride_ + dst;
+  }
+
+  std::vector<net::LinkId> table_;  ///< node-major, stride_ entries per node
+  std::size_t stride_ = 0;          ///< = node_count of the topology
 };
 
 /// Result of walking a packet's path through the forwarding tables.

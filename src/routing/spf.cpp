@@ -122,12 +122,15 @@ SpfTree Spf::compute(const net::Topology& topo, net::NodeId root,
     const auto [d, u] = heap_pop(heap);
     if (settled[u]) continue;
     settled[u] = true;
-    for (const net::LinkId lid : topo.out_links(u)) {
-      const net::Link& l = topo.link(lid);
-      const double nd = d + link_costs[lid];
-      if (nd < tree.dist[l.to]) {
-        tree.dist[l.to] = nd;
-        heap_push(heap, nd, l.to);
+    // Parallel CSR slices: the relaxation touches only the link id (cost
+    // index) and the target node, never the 48-byte Link record.
+    const std::span<const net::LinkId> lids = topo.out_links(u);
+    const std::span<const net::NodeId> tos = topo.out_targets(u);
+    for (std::size_t i = 0; i < lids.size(); ++i) {
+      const double nd = d + link_costs[lids[i]];
+      if (nd < tree.dist[tos[i]]) {
+        tree.dist[tos[i]] = nd;
+        heap_push(heap, nd, tos[i]);
       }
     }
   }
@@ -189,10 +192,11 @@ void IncrementalSpf::decrease_pass(net::LinkId link) {
     if (d >= tree_.dist[w]) continue;
     tree_.dist[w] = d;
     ++nodes_touched_;
-    for (const net::LinkId out : topo_->out_links(w)) {
-      const net::Link& ol = topo_->link(out);
-      const double nd = d + costs_[out];
-      if (nd < tree_.dist[ol.to]) heap_push(heap, nd, ol.to);
+    const std::span<const net::LinkId> lids = topo_->out_links(w);
+    const std::span<const net::NodeId> tos = topo_->out_targets(w);
+    for (std::size_t i = 0; i < lids.size(); ++i) {
+      const double nd = d + costs_[lids[i]];
+      if (nd < tree_.dist[tos[i]]) heap_push(heap, nd, tos[i]);
     }
   }
 }
@@ -259,11 +263,12 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
     const auto [d, w] = heap_pop(heap);
     if (d >= tree_.dist[w]) continue;
     tree_.dist[w] = d;
-    for (const net::LinkId out : topo_->out_links(w)) {
-      const net::Link& ol = topo_->link(out);
-      if (!affected[ol.to]) continue;
-      const double nd = d + costs_[out];
-      if (nd < tree_.dist[ol.to]) heap_push(heap, nd, ol.to);
+    const std::span<const net::LinkId> lids = topo_->out_links(w);
+    const std::span<const net::NodeId> tos = topo_->out_targets(w);
+    for (std::size_t i = 0; i < lids.size(); ++i) {
+      if (!affected[tos[i]]) continue;
+      const double nd = d + costs_[lids[i]];
+      if (nd < tree_.dist[tos[i]]) heap_push(heap, nd, tos[i]);
     }
   }
 }
@@ -283,8 +288,7 @@ std::vector<std::vector<int>> min_hop_lengths(const net::Topology& topo) {
     while (!q.empty()) {
       const net::NodeId u = q.front();
       q.pop();
-      for (const net::LinkId lid : topo.out_links(u)) {
-        const net::NodeId v = topo.link(lid).to;
+      for (const net::NodeId v : topo.out_targets(u)) {
         if (row[v] == -1) {
           row[v] = row[u] + 1;
           q.push(v);

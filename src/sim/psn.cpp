@@ -73,17 +73,21 @@ void Psn::start() {
 }
 
 Psn::OutLink& Psn::out_for(net::LinkId link) {
-  for (OutLink& o : out_) {
-    if (o.id == link) return o;
+  // out_ was filled in out_links(id_) order, so the CSR slot of the link
+  // within its from-node's span is also its index here.
+  const net::Topology& topo = net_.topology();
+  if (link >= topo.link_count() || topo.link(link).from != id_) {
+    throw std::out_of_range("link is not an out-link of this PSN");
   }
-  throw std::out_of_range("link is not an out-link of this PSN");
+  return out_[topo.out_pos(link)];
 }
 
 double Psn::reported_cost(net::LinkId out_link) const {
-  for (const OutLink& o : out_) {
-    if (o.id == out_link) return o.reported;
+  const net::Topology& topo = net_.topology();
+  if (out_link >= topo.link_count() || topo.link(out_link).from != id_) {
+    throw std::out_of_range("link is not an out-link of this PSN");
   }
-  throw std::out_of_range("link is not an out-link of this PSN");
+  return out_[topo.out_pos(out_link)].reported;
 }
 
 void Psn::originate_data(net::NodeId dst, double bits) {
@@ -394,16 +398,14 @@ void Psn::handle_distance_vector(PacketHandle h, net::LinkId via_link) {
   const std::shared_ptr<const DistanceVector> dv = std::move(pool.at(h).dv);
   pool.release(h);
   if (!dv) throw std::logic_error("distance-vector packet without payload");
-  const net::LinkId out_link = net_.topology().link(via_link).reverse;
-  for (std::size_t i = 0; i < out_.size(); ++i) {
-    if (out_[i].id == out_link) {
-      dv_neighbor_[i] = dv->dist;
-      // The original algorithm re-minimized on new information.
-      dv_recompute();
-      return;
-    }
+  const net::Topology& topo = net_.topology();
+  const net::LinkId out_link = topo.link(via_link).reverse;
+  if (topo.link(out_link).from != id_) {
+    throw std::logic_error("distance vector arrived over unknown link");
   }
-  throw std::logic_error("distance vector arrived over unknown link");
+  dv_neighbor_[topo.out_pos(out_link)] = dv->dist;
+  // The original algorithm re-minimized on new information.
+  dv_recompute();
 }
 
 void Psn::set_local_link_up(net::LinkId out_link, bool up) {

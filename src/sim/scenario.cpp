@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/net/builders/registry.h"
 #include "src/obs/stopwatch.h"
 
 namespace arpanet::sim {
@@ -68,6 +69,12 @@ ScenarioConfig& ScenarioConfig::with_network(NetworkConfig cfg) {
 
 ScenarioConfig& ScenarioConfig::with_matrix(traffic::TrafficMatrix m) {
   matrix = std::move(m);
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_topology(net::GraphSpec spec) {
+  net::TopologyBuilder::registry().validate(spec);
+  topology = std::move(spec);
   return *this;
 }
 
@@ -143,6 +150,17 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     result.events_processed = network.simulator().events_processed();
   }
   return result;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  if (!cfg.topology) {
+    throw std::invalid_argument(
+        "run_scenario(cfg): config has no topology (use with_topology, or "
+        "the overload taking an explicit net::Topology)");
+  }
+  const net::Topology topo =
+      net::TopologyBuilder::registry().build(*cfg.topology);
+  return run_scenario(topo, cfg, /*label=*/"");
 }
 
 }  // namespace arpanet::sim

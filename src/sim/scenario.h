@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/analysis/invariants.h"
+#include "src/net/graph_spec.h"
 #include "src/net/topology.h"
 #include "src/obs/counters.h"
 #include "src/sim/network.h"
@@ -52,6 +53,10 @@ struct ScenarioConfig {
   std::string label;
   /// Explicit traffic matrix; overrides shape/offered_load_bps when set.
   std::optional<traffic::TrafficMatrix> matrix;
+  /// Declarative topology: when set, the run_scenario(cfg) overload builds
+  /// it through the TopologyBuilder registry. Overloads taking an explicit
+  /// Topology ignore it.
+  std::optional<net::GraphSpec> topology;
   /// Run analysis::audit_network when the measurement window ends: every
   /// reported cost, cost trace and SPF tree is checked against the paper's
   /// invariants, and any violation aborts. Costs one pass over the final
@@ -74,6 +79,9 @@ struct ScenarioConfig {
   ScenarioConfig& with_label(std::string l);
   ScenarioConfig& with_network(NetworkConfig cfg);
   ScenarioConfig& with_matrix(traffic::TrafficMatrix m);
+  /// Validates the spec against the TopologyBuilder registry immediately
+  /// (unknown family / bad params throw here, not at run time).
+  ScenarioConfig& with_topology(net::GraphSpec spec);
   ScenarioConfig& with_self_audit(bool enabled);
 
   /// The label a run of this config reports: `label`, or the metric
@@ -110,6 +118,11 @@ struct ScenarioResult {
 [[nodiscard]] ScenarioResult run_scenario(const net::Topology& topo,
                                           const ScenarioConfig& cfg,
                                           const std::string& label);
+
+/// Runs a config that carries its own topology (with_topology): builds the
+/// graph through the TopologyBuilder registry, then runs as above. Throws
+/// std::invalid_argument if cfg.topology is unset.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
 
 /// Builds the scenario's traffic matrix without running (for reuse).
 [[nodiscard]] traffic::TrafficMatrix scenario_matrix(const net::Topology& topo,

@@ -18,7 +18,7 @@ std::string doc(double rate, long events = 1000) {
   std::ostringstream os;
   os << R"({
   "schema": "arpanet-bench-metrics",
-  "schema_version": 2,
+  "schema_version": 3,
   "battery": "smoke",
   "elapsed_sec": 1.5,
   "scenarios": [
@@ -168,6 +168,8 @@ TEST(BenchCompareTest, RealSmokeBatteryComparesCleanAgainstItself) {
   for (const CellDelta& d : r.cells) EXPECT_GT(d.ratio, 0.0);
   EXPECT_EQ(r.micro.size(), 2u);  // hold_near_future + hold_wide_span
   for (const CellDelta& d : r.micro) EXPECT_GT(d.ratio, 0.0);
+  EXPECT_EQ(r.topo.size(), 5u);  // one per generated family
+  for (const CellDelta& d : r.topo) EXPECT_GT(d.ratio, 0.0);
 }
 
 TEST(BenchCompareTest, TextReportNamesEveryCellAndViolation) {

@@ -1,8 +1,8 @@
 // tools/bench_report's engine (src/obs/bench_report.h): the smoke battery
 // must validate, produce byte-identical masked JSON at any sweep thread
 // count, and match the checked-in golden file tests/golden/bench_smoke.json
-// (regenerate with: bench_report --scenario=smoke --threads=1 --out=... and
-// mask_wall_time_fields — or copy the diff this test prints).
+// (regenerate with: bench_report --scenario=smoke --threads=1 --mask
+// --out=tests/golden/bench_smoke.json — or copy the diff this test prints).
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,109 @@
+// GraphSpec (src/net/graph_spec.h): the fluent validated builder, label
+// derivation, spec-string parsing, and the ARPA_CHECK argument invariants
+// the header promises (malformed specs are programming errors and abort).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "src/net/graph_spec.h"
+
+namespace arpanet::net {
+namespace {
+
+TEST(GraphSpecTest, FluentSettersAccumulate) {
+  const GraphSpec spec = GraphSpec{"ba"}
+                             .with_nodes(10'000)
+                             .with_seed(42)
+                             .with_param("m", 2);
+  EXPECT_EQ(spec.family(), "ba");
+  EXPECT_EQ(spec.nodes(), 10'000u);
+  EXPECT_EQ(spec.seed(), 42u);
+  EXPECT_TRUE(spec.has_param("m"));
+  EXPECT_DOUBLE_EQ(spec.param("m", 0.0), 2.0);
+}
+
+TEST(GraphSpecTest, ParamFallbackWhenUnset) {
+  const GraphSpec spec = GraphSpec{"waxman"};
+  EXPECT_FALSE(spec.has_param("alpha"));
+  EXPECT_DOUBLE_EQ(spec.param("alpha", 0.4), 0.4);
+}
+
+TEST(GraphSpecTest, ParamsStaySortedWhateverTheCallOrder) {
+  const GraphSpec a =
+      GraphSpec{"waxman"}.with_param("beta", 0.1).with_param("alpha", 0.5);
+  const GraphSpec b =
+      GraphSpec{"waxman"}.with_param("alpha", 0.5).with_param("beta", 0.1);
+  EXPECT_EQ(a.params(), b.params());
+  ASSERT_EQ(a.params().size(), 2u);
+  EXPECT_EQ(a.params()[0].first, "alpha");
+}
+
+TEST(GraphSpecTest, WithParamReplacesAnExistingKey) {
+  const GraphSpec spec =
+      GraphSpec{"ba"}.with_param("m", 2).with_param("m", 3);
+  ASSERT_EQ(spec.params().size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.param("m", 0.0), 3.0);
+}
+
+TEST(GraphSpecTest, LabelDerivesFromAxes) {
+  const GraphSpec spec =
+      GraphSpec{"ba"}.with_nodes(10'000).with_seed(42).with_param("m", 2);
+  EXPECT_EQ(spec.label(), "ba-n10000-s42-m2");
+}
+
+TEST(GraphSpecTest, ExplicitLabelWins) {
+  const GraphSpec spec =
+      GraphSpec{"ba"}.with_nodes(64).with_label("my-graph");
+  EXPECT_EQ(spec.label(), "my-graph");
+}
+
+TEST(GraphSpecTest, ParseRoundTripsTheSimSpecSyntax) {
+  const GraphSpec spec = GraphSpec::parse("ba:nodes=10000,seed=7,m=2");
+  EXPECT_EQ(spec.family(), "ba");
+  EXPECT_EQ(spec.nodes(), 10'000u);
+  EXPECT_EQ(spec.seed(), 7u);
+  EXPECT_DOUBLE_EQ(spec.param("m", 0.0), 2.0);
+}
+
+TEST(GraphSpecTest, ParseBareFamilyUsesDefaults) {
+  const GraphSpec spec = GraphSpec::parse("leo-grid");
+  EXPECT_EQ(spec.family(), "leo-grid");
+  EXPECT_EQ(spec.nodes(), 0u);  // 0 = family default
+}
+
+TEST(GraphSpecTest, ParseRejectsMalformedInputWithAnException) {
+  EXPECT_THROW((void)GraphSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)GraphSpec::parse("ba:m"), std::invalid_argument);
+  EXPECT_THROW((void)GraphSpec::parse("ba:=2"), std::invalid_argument);
+  EXPECT_THROW((void)GraphSpec::parse("ba:m=abc"), std::invalid_argument);
+  EXPECT_THROW((void)GraphSpec::parse("ba:nodes=-5"), std::invalid_argument);
+  EXPECT_THROW((void)GraphSpec::parse("ba:seed=1.5"), std::invalid_argument);
+}
+
+TEST(GraphSpecDeathTest, EmptyFamilyAborts) {
+  EXPECT_DEATH((void)GraphSpec{}.with_family(""), "family");
+}
+
+TEST(GraphSpecDeathTest, ZeroNodesAborts) {
+  EXPECT_DEATH((void)GraphSpec{"ba"}.with_nodes(0), "nodes");
+}
+
+TEST(GraphSpecDeathTest, EmptyParamKeyAborts) {
+  EXPECT_DEATH((void)GraphSpec{"ba"}.with_param("", 1.0), "key");
+}
+
+TEST(GraphSpecDeathTest, NonFiniteParamValueAborts) {
+  EXPECT_DEATH(
+      (void)GraphSpec{"ba"}.with_param("m",
+                                       std::numeric_limits<double>::infinity()),
+      "finite");
+}
+
+TEST(GraphSpecDeathTest, EmptyLabelAborts) {
+  EXPECT_DEATH((void)GraphSpec{"ba"}.with_label(""), "label");
+}
+
+}  // namespace
+}  // namespace arpanet::net

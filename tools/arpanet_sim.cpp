@@ -1,7 +1,7 @@
 // arpanet_sim: command-line driver for whole-network experiments.
 //
 // Usage:
-//   arpanet_sim [--topology=arpanet87|two-region|ring:N|grid:WxH|<file>]
+//   arpanet_sim [--topology=arpanet87|two-region|ring:N|grid:WxH|<spec>|<file>]
 //               [--metric=min-hop|dspf|hnspf] [--algorithm=spf|dv]
 //               [--multipath] [--load-kbps=400] [--shape=uniform|peak-hour]
 //               [--warmup-sec=120] [--window-sec=300] [--seed=N]
@@ -9,16 +9,22 @@
 //               [--fail-trunk=A-B@T] [--recover-trunk=A-B@T]
 //               [--utilization] [--write-topology]
 //
+// A <spec> is any TopologyBuilder registry family with key=value parameters,
+// e.g. ba:nodes=10000,seed=7,m=2 or leo-grid:planes=20,per_plane=20
+// (see docs/topologies.md for the families and their parameters).
+//
 // Examples:
 //   arpanet_sim --metric=dspf --load-kbps=420
 //   arpanet_sim --topology=my_net.topo --metric=hnspf --fail-trunk=MIT-BBN@200
 //   arpanet_sim --topology=ring:8 --write-topology
+//   arpanet_sim --topology=waxman:nodes=256,seed=3 --metric=hnspf
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "src/net/builders/builders.h"
+#include "src/net/builders/registry.h"
 #include "src/net/topology_io.h"
 #include "src/sim/network.h"
 #include "src/sim/scenario.h"
@@ -42,6 +48,11 @@ net::Topology load_topology(const std::string& spec) {
     }
     return net::builders::grid(std::stoi(dims.substr(0, x)),
                                std::stoi(dims.substr(x + 1)));
+  }
+  // Any registry family, parameterized "family:key=value,...".
+  const std::string family = spec.substr(0, spec.find(':'));
+  if (net::TopologyBuilder::registry().has_family(family)) {
+    return net::TopologyBuilder::registry().build(net::GraphSpec::parse(spec));
   }
   std::ifstream file{spec};
   if (!file) throw std::invalid_argument("cannot open topology file " + spec);

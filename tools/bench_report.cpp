@@ -4,6 +4,8 @@
 //   bench_report                          # full battery -> BENCH_metrics.json
 //   bench_report --scenario=smoke         # the golden-test battery
 //   bench_report --threads=4 --out=-      # explicit workers, JSON to stdout
+//   bench_report --scenario=smoke --threads=1 --mask
+//       --out=tests/golden/bench_smoke.json   # regenerate the golden file
 //
 // Exits nonzero (with the violations on stderr) when the report fails its
 // own schema validation — the CI bench-smoke job relies on that.
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
   const std::string battery = flags.get_string("scenario", "battery");
   const int threads = static_cast<int>(flags.get_long("threads", 0));
   const std::string out_path = flags.get_string("out", "BENCH_metrics.json");
+  const bool mask = flags.get_bool("mask");
   for (const std::string& f : flags.unknown()) {
     std::cerr << "bench_report: unknown flag --" << f << "\n";
     return 2;
@@ -35,7 +38,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string json = report.json();
+  const std::string json =
+      mask ? obs::mask_wall_time_fields(report.json()) : report.json();
   if (out_path == "-") {
     std::cout << json;
   } else {
