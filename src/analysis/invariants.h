@@ -1,5 +1,8 @@
 // Runtime enforcement of the paper's metric and routing invariants.
 //
+// ARPALINT-LAYER(sim): the PSN asserts these checks inline during runs, so
+// this header sits below sim in the include DAG (the .cpp stays analysis)
+//
 // The revised metric is specified as a handful of hard properties (sections
 // 4.2-4.4): the reported cost of a line always lies between its
 // propagation-adjusted minimum and the line-type maximum; consecutive

@@ -4,6 +4,8 @@
 // according to the combined bandwidth of the trunks making it up and whether
 // the medium was terrestrial or satellite (paper section 4.1). The HNM's
 // normalization tables (src/core/line_params.h) are keyed by this type.
+//
+// ARPALINT-LAYER(core): enum + units only; core's parameter tables key on it
 
 #pragma once
 

@@ -89,6 +89,7 @@ class Topology {
   /// Throws std::out_of_range if no node has this name.
   [[nodiscard]] NodeId node_by_name(std::string_view name) const;
 
+  // ARPALINT-HOTPATH-BEGIN
   /// Outgoing simplex links of a node: one contiguous CSR slice, in
   /// add_duplex insertion order.
   [[nodiscard]] std::span<const LinkId> out_links(NodeId node) const {
@@ -117,6 +118,7 @@ class Topology {
     }
     return csr_pos_[link];
   }
+  // ARPALINT-HOTPATH-END
 
   /// Builds the CSR index now (it is otherwise built on first access).
   /// Generators call this before handing a topology to concurrent readers.

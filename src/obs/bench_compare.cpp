@@ -208,11 +208,13 @@ class JsonParser {
 // ---------------------------------------------------------------------------
 
 /// Fields derived from host wall time: excluded from the deterministic-work
-/// diff and handled by the noise-band rate check instead.
+/// diff and handled by the noise-band rate check instead. alloc_guard
+/// bytes_peak rides along — it is zero in Release but tracks the build's
+/// allocator/instrumentation, not the simulation's work.
 bool is_wall_time_field(const std::string& path) {
   return path == "wall_sec" || path == "events_per_sec" ||
          path == "ops_per_sec" || path == "build_sec" || path == "spf_sec" ||
-         path == "spf_nodes_per_sec";
+         path == "spf_nodes_per_sec" || path == "alloc_guard.bytes_peak";
 }
 
 /// Flattens every numeric leaf of a cell into ("spf.full", value) pairs, in

@@ -7,7 +7,7 @@ namespace arpanet::obs {
 
 namespace {
 
-constexpr std::array<Counters::Entry, 17> kCatalog{{
+constexpr std::array<Counters::Entry, 19> kCatalog{{
     {"spf_full", &Counters::spf_full, Counters::Merge::kSum},
     {"spf_incremental", &Counters::spf_incremental, Counters::Merge::kSum},
     {"spf_skipped", &Counters::spf_skipped, Counters::Merge::kSum},
@@ -34,6 +34,10 @@ constexpr std::array<Counters::Entry, 17> kCatalog{{
      Counters::Merge::kSum},
     {"invariant_period_checks", &Counters::invariant_period_checks,
      Counters::Merge::kSum},
+    {"alloc_guard_scopes", &Counters::alloc_guard_scopes,
+     Counters::Merge::kSum},
+    {"alloc_guard_bytes_peak", &Counters::alloc_guard_bytes_peak,
+     Counters::Merge::kMax},
 }};
 
 }  // namespace

@@ -1,5 +1,7 @@
 // Observability counters: the machine-readable telemetry registry.
 //
+// ARPALINT-LAYER(util): plain value struct every layer may fill or merge
+//
 // The paper's central claims are dynamic — how much SPF work a metric
 // causes, how many updates it floods, how deep the event queue gets — so
 // every run exposes them as one plain-struct registry instead of ad-hoc
@@ -54,6 +56,13 @@ struct Counters {
   // ---- runtime invariant layer ----
   /// Exact per-update-period movement-bound checks executed (section 4.3).
   std::uint64_t invariant_period_checks = 0;
+
+  // ---- allocation guard (util/alloc_guard.h) ----
+  /// AllocGuard scopes run (one per measurement window).
+  std::uint64_t alloc_guard_scopes = 0;
+  /// Heap bytes allocated inside a guard scope — the worst cell's value
+  /// after a merge (zero is the expected Release steady state).
+  std::uint64_t alloc_guard_bytes_peak = 0;
 
   /// How a counter combines across runs: totals add, watermarks take the max.
   enum class Merge : std::uint8_t { kSum, kMax };

@@ -1,5 +1,7 @@
 // Wall-clock attribution for hot paths.
 //
+// ARPALINT-LAYER(util): self-contained chrono wrapper usable from any layer
+//
 // Stopwatch is a thin steady_clock wrapper; ScopedTimer adds its scope's
 // elapsed wall time into a caller-owned double on destruction, so timing a
 // block is one declaration instead of the start/duration_cast boilerplate

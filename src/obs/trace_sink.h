@@ -1,5 +1,8 @@
 // Per-link trace hooks: reported-cost and utilization time series.
 //
+// ARPALINT-LAYER(net): needs only topology identifiers; sim hands it
+// samples through the abstract TraceSink interface
+//
 // Jonglez et al. (PAPERS.md) make the case that smoothing/hysteresis
 // metrics are only debuggable when their per-link dynamics are recorded as
 // time series, and Fukś et al. that distributions beat point averages. A

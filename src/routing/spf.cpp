@@ -20,7 +20,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 using HeapEntry = std::pair<double, net::NodeId>;
 using HeapVec = std::vector<HeapEntry>;
 
+// ARPALINT-HOTPATH-BEGIN
 void heap_push(HeapVec& heap, double dist, net::NodeId node) {
+  // ARPALINT-ALLOW(hot-path-alloc): scratch heap retains capacity across passes
   heap.emplace_back(dist, node);
   std::push_heap(heap.begin(), heap.end(), std::greater<>{});
 }
@@ -31,6 +33,7 @@ HeapEntry heap_pop(HeapVec& heap) {
   heap.pop_back();
   return e;
 }
+// ARPALINT-HOTPATH-END
 
 void check_costs(const net::Topology& topo, std::span<const double> costs) {
   if (costs.size() != topo.link_count()) {
@@ -49,11 +52,15 @@ void check_costs(const net::Topology& topo, std::span<const double> costs) {
 /// safe. Deriving structure from distances (rather than keeping whatever
 /// parents Dijkstra's settle order happened to produce) is what makes every
 /// PSN compute the identical tree from identical costs.
+// ARPALINT-HOTPATH-BEGIN
 void derive_structure(const net::Topology& topo, std::span<const double> costs,
                       SpfTree& tree, std::vector<net::NodeId>& order) {
   const std::size_t n = topo.node_count();
+  // ARPALINT-ALLOW(hot-path-alloc): same-size assigns reuse the tree's storage
   tree.parent_link.assign(n, net::kInvalidLink);
+  // ARPALINT-ALLOW(hot-path-alloc): same-size assigns reuse the tree's storage
   tree.first_hop.assign(n, net::kInvalidLink);
+  // ARPALINT-ALLOW(hot-path-alloc): same-size assigns reuse the tree's storage
   tree.hops.assign(n, -1);
   tree.hops[tree.root] = 0;
 
@@ -78,6 +85,7 @@ void derive_structure(const net::Topology& topo, std::span<const double> costs,
   // O(n + inversions), typically a single sweep, where a comparison sort
   // would pay its full O(n log n) on every rederivation.
   if (order.size() != n) {
+    // ARPALINT-ALLOW(hot-path-alloc): grows once; persistent across updates
     order.resize(n);
     std::iota(order.begin(), order.end(), net::NodeId{0});
   }
@@ -102,6 +110,7 @@ void derive_structure(const net::Topology& topo, std::span<const double> costs,
         (pl.from == tree.root) ? pl.id : tree.first_hop[pl.from];
   }
 }
+// ARPALINT-HOTPATH-END
 
 }  // namespace
 
@@ -146,6 +155,16 @@ IncrementalSpf::IncrementalSpf(const net::Topology& topo, net::NodeId root,
   check_costs(topo, costs_);
   tree_ = Spf::compute(topo, root, costs_);
   ++full_;
+  // Size the scratch up front: the passes' assign/resize/push_back then
+  // never grow, even for a PSN whose first incremental update arrives long
+  // after construction (the AllocGuard window assumes exactly this).
+  const std::size_t n = topo.node_count();
+  scratch_.heap.reserve(topo.link_count());
+  scratch_.order.reserve(n);
+  scratch_.affected.reserve(n);
+  scratch_.stack.reserve(n);
+  scratch_.child_start.reserve(n + 1);
+  scratch_.child_list.reserve(n);
 }
 
 void IncrementalSpf::reset(LinkCosts costs) {
@@ -155,6 +174,7 @@ void IncrementalSpf::reset(LinkCosts costs) {
   ++full_;
 }
 
+// ARPALINT-HOTPATH-BEGIN
 void IncrementalSpf::set_cost(net::LinkId link, double new_cost) {
   if (!(new_cost > 0.0)) throw std::invalid_argument("link costs must be positive");
   const double old_cost = costs_.at(link);
@@ -211,12 +231,14 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
   // per-node vectors are allocated.
   auto& cs = scratch_.child_start;
   auto& cl = scratch_.child_list;
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
   cs.assign(n + 1, 0);
   for (net::NodeId v = 0; v < n; ++v) {
     const net::LinkId pl = tree_.parent_link[v];
     if (pl != net::kInvalidLink) ++cs[topo_->link(pl).from + 1];
   }
   for (std::size_t u = 0; u < n; ++u) cs[u + 1] += cs[u];
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
   cl.resize(cs[n]);
   // The fill advances cs[u] from u's start offset to its end offset, so
   // afterwards u's children live in cl[cs[u-1] .. cs[u]) (start of node 0
@@ -228,8 +250,10 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
 
   auto& affected = scratch_.affected;
   auto& stack = scratch_.stack;
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
   affected.assign(n, 0);
   stack.clear();
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
   stack.push_back(l.to);
   affected[l.to] = 1;
   while (!stack.empty()) {
@@ -240,6 +264,7 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
       const net::NodeId c = cl[i];
       if (!affected[c]) {
         affected[c] = 1;
+        // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
         stack.push_back(c);
       }
     }
@@ -276,6 +301,7 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
 void IncrementalSpf::rederive_structure() {
   derive_structure(*topo_, costs_, tree_, scratch_.order);
 }
+// ARPALINT-HOTPATH-END
 
 std::vector<std::vector<int>> min_hop_lengths(const net::Topology& topo) {
   const std::size_t n = topo.node_count();

@@ -11,6 +11,7 @@ namespace arpanet::sim {
 
 EventQueue::EventQueue() : buckets_(kMinBuckets, kNil) {}
 
+// ARPALINT-HOTPATH-BEGIN
 void EventQueue::schedule(util::SimTime at, SimEvent ev) {
   std::uint32_t slot;
   if (!free_.empty()) {
@@ -19,7 +20,9 @@ void EventQueue::schedule(util::SimTime at, SimEvent ev) {
     slots_[slot] = std::move(ev);
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
+    // ARPALINT-ALLOW(hot-path-alloc): slab growth; freelist serves steady state
     slots_.push_back(std::move(ev));
+    // ARPALINT-ALLOW(hot-path-alloc): slab growth; freelist serves steady state
     meta_.emplace_back();
   }
   meta_[slot].at_us = at.us();
@@ -57,6 +60,7 @@ void EventQueue::insert_entry(std::uint32_t slot, bool count_overflow) {
   if (drain_active_ && day == base_day_) {
     // The day being drained keeps its entries sorted; merge in place.
     const Entry e{at_us, meta_[slot].seq, slot};
+    // ARPALINT-ALLOW(hot-path-alloc): drain vector retains capacity across days
     drain_.insert(std::lower_bound(drain_.begin(), drain_.end(), e, later),
                   e);
     return;
@@ -69,6 +73,7 @@ void EventQueue::insert_entry(std::uint32_t slot, bool count_overflow) {
     return;
   }
   const Entry e{at_us, meta_[slot].seq, slot};
+  // ARPALINT-ALLOW(hot-path-alloc): overflow vector retains capacity
   overflow_.insert(
       std::lower_bound(overflow_.begin(), overflow_.end(), e, later), e);
   if (count_overflow) ++overflow_scheduled_;
@@ -105,6 +110,7 @@ void EventQueue::prepare() {
   std::uint32_t s = buckets_[static_cast<std::size_t>(d) & mask_];
   buckets_[static_cast<std::size_t>(d) & mask_] = kNil;
   while (s != kNil) {
+    // ARPALINT-ALLOW(hot-path-alloc): drain vector retains capacity across days
     drain_.push_back(Entry{meta_[s].at_us, meta_[s].seq, s});
     s = meta_[s].next;
     --bucketed_;
@@ -126,12 +132,14 @@ SimEvent EventQueue::pop(util::SimTime& at) {
   drain_.pop_back();
   at = util::SimTime::from_us(e.at_us);
   SimEvent ev = std::move(slots_[e.slot]);
+  // ARPALINT-ALLOW(hot-path-alloc): freelist retains capacity
   free_.push_back(e.slot);
   --size_;
   if (size_ < buckets_.size() / 8 && buckets_.size() > kMinBuckets) {
     if (size_ == 0) {
       // Fully drained: fall back to the initial geometry for free instead
       // of running (and counting) a rebuild over nothing.
+      // ARPALINT-ALLOW(hot-path-alloc): shrinking assign reuses storage
       buckets_.assign(kMinBuckets, kNil);
       mask_ = kMinBuckets - 1;
       shift_ = kDefaultShift;
@@ -143,6 +151,7 @@ SimEvent EventQueue::pop(util::SimTime& at) {
   }
   return ev;
 }
+// ARPALINT-HOTPATH-END
 
 void EventQueue::resize() {
   // Collect every pending slot; the events themselves never move, only the

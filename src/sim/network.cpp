@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -23,6 +24,18 @@ Network::Network(const net::Topology& topo, NetworkConfig cfg)
   if (!topo.is_connected()) {
     throw std::invalid_argument("topology must be connected");
   }
+  pool_.attach_update_pool(&updates_);
+  std::size_t max_degree = 0;
+  for (net::NodeId v = 0; v < topo.node_count(); ++v) {
+    max_degree = std::max(max_degree, topo.out_links(v).size());
+  }
+  updates_.set_report_capacity(max_degree);
+  // Queue-bound packet working set: every output queue full (enqueue drops
+  // beyond queue_capacity) plus a transmitting/propagating packet per link,
+  // plus slack for flooded updates (not queue-capped, but short-lived).
+  pool_.reserve(topo.link_count() *
+                    (static_cast<std::size_t>(cfg.queue_capacity) + 2) +
+                topo.node_count() * 8);
   // Every PSN starts from the same cost map (each link at its metric's
   // initial cost), so the initial trees are consistent network-wide.
   routing::LinkCosts initial(topo.link_count());
@@ -115,6 +128,11 @@ void Network::run_until(util::SimTime end) { sim_.run_until(end); }
 void Network::reset_stats() {
   stats_ = NetworkStats{};
   window_start_ = sim_.now();
+}
+
+void Network::reserve_stats_until(util::SimTime end) {
+  for (stats::TimeSeries& series : link_busy_) series.reserve_until(end);
+  drops_.reserve_until(end);
 }
 
 void Network::on_delivered(const Packet& pkt) {

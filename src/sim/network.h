@@ -32,6 +32,7 @@
 #include "src/sim/event.h"
 #include "src/sim/packet_pool.h"
 #include "src/sim/packet_trace.h"
+#include "src/sim/update_pool.h"
 #include "src/sim/psn.h"
 #include "src/sim/simulator.h"
 #include "src/stats/histogram.h"
@@ -240,6 +241,13 @@ class Network : public EventSink {
   /// The pooled packet slab every in-flight packet lives in; hot paths pass
   /// PacketHandle indices instead of moving Packet structs.
   [[nodiscard]] PacketPool& packet_pool() { return pool_; }
+  /// The refcounted routing-update slab flooded packets share slots in.
+  [[nodiscard]] UpdatePool& update_pool() { return updates_; }
+  /// Pre-extends the bucketed statistics series (per-link utilization,
+  /// drops) to cover sim time up to `end`, so recording during a
+  /// measurement window that ends by then allocates nothing. Call before
+  /// an AllocGuard-wrapped window.
+  void reserve_stats_until(util::SimTime end);
   /// One measurement period closed on `link`: `previous` and `candidate`
   /// are the metric's consecutive per-period costs (kDownLinkCost while the
   /// link is down), `busy_fraction` the period's transmitter utilization.
@@ -268,6 +276,7 @@ class Network : public EventSink {
   std::shared_ptr<const metrics::MetricFactory> factory_;
   Simulator sim_;
   PacketPool pool_;
+  UpdatePool updates_;
   util::Rng rng_;
   traffic::PacketSizer sizer_;
   std::vector<std::unique_ptr<Psn>> psns_;

@@ -18,6 +18,13 @@
 
 namespace arpanet::sim {
 
+/// Index of a pooled RoutingUpdate slot (sim/update_pool.h). Flooded copies
+/// of one update share the slot by refcount, so forwarding an update moves
+/// a 4-byte handle instead of touching a shared_ptr control block.
+using UpdateHandle = std::uint32_t;
+inline constexpr UpdateHandle kInvalidUpdateHandle =
+    static_cast<UpdateHandle>(-1);
+
 /// A distance-vector advertisement, as exchanged by the original (1969)
 /// routing algorithm: the sender's current estimated distance to every node
 /// (paper section 2.1). Sent hop-by-hop to neighbors only — never flooded.
@@ -50,9 +57,12 @@ struct Packet {
   std::uint16_t pkt_count = 0;   ///< packets in the message
   bool rfnm = false;             ///< this is a Request-For-Next-Message ack
 
-  /// Payload for Kind::kRoutingUpdate; shared between flooded copies.
-  std::shared_ptr<const routing::RoutingUpdate> update;
-  /// Payload for Kind::kDistanceVector.
+  /// Payload for Kind::kRoutingUpdate: a refcounted sim::UpdatePool slot
+  /// shared between flooded copies. PacketPool::release drops the
+  /// reference through its attached UpdatePool.
+  UpdateHandle update = kInvalidUpdateHandle;
+  /// Payload for Kind::kDistanceVector (the 1969 baseline mode; cold path,
+  /// so the shared_ptr's allocation is acceptable there).
   std::shared_ptr<const DistanceVector> dv;
 };
 

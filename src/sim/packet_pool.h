@@ -24,12 +24,20 @@
 
 #include "src/sim/event.h"
 #include "src/sim/packet.h"
+#include "src/sim/update_pool.h"
 #include "src/util/check.h"
 
 namespace arpanet::sim {
 
 class PacketPool {
  public:
+  /// Wires the update pool that backs Packet::update handles; release()
+  /// drops the packet's reference through it. Must be set before any
+  /// routing-update packet is released (sim::Network does so on
+  /// construction).
+  void attach_update_pool(UpdatePool* updates) { updates_ = updates; }
+
+  // ARPALINT-HOTPATH-BEGIN: acquire/release run once per packet hop.
   /// Acquires a default-initialized slot, recycling a released one when
   /// available.
   [[nodiscard]] PacketHandle acquire() {
@@ -42,6 +50,7 @@ class PacketPool {
       return h;
     }
     const PacketHandle h = static_cast<PacketHandle>(slots_.size());
+    // ARPALINT-ALLOW(hot-path-alloc): slab growth; after warm-up every acquire recycles
     slots_.emplace_back();
     live_slot(h);
     return h;
@@ -59,13 +68,35 @@ class PacketPool {
 
   /// Returns a slot to the freelist. The slot is reset to a blank Packet so
   /// shared payloads (routing updates, distance vectors) are released now,
-  /// not at some future reuse.
+  /// not at some future reuse; a routing-update reference is dropped
+  /// through the attached UpdatePool.
   void release(PacketHandle h) {
     ARPA_DCHECK(h < slots_.size()) << "released handle " << h
                                    << " outside pool of " << slots_.size();
+    if (slots_[h].update != kInvalidUpdateHandle) {
+      ARPA_DCHECK(updates_ != nullptr)
+          << "update packet released with no attached UpdatePool";
+      updates_->release(slots_[h].update);
+    }
     slots_[h] = Packet{};
+    // ARPALINT-ALLOW(hot-path-alloc): freelist retains its high-water capacity
     free_.push_back(h);
     --in_use_;
+  }
+  // ARPALINT-HOTPATH-END
+
+  /// Pre-creates slots (parked on the freelist) until the slab holds `n`.
+  /// The lazy slab sizes itself to the warm-up transient, but a longer
+  /// measurement window can push the in-flight population past that
+  /// high-water mark; sim::Network reserves the queue-bound working set at
+  /// construction so the window never pays deque chunk growth.
+  void reserve(std::size_t n) {
+    if (n <= slots_.size()) return;
+    free_.reserve(n);
+    while (slots_.size() < n) {
+      free_.push_back(static_cast<PacketHandle>(slots_.size()));
+      slots_.emplace_back();
+    }
   }
 
   /// Distinct slots ever created (the pool's footprint).
@@ -86,6 +117,7 @@ class PacketPool {
 
   std::deque<Packet> slots_;
   std::vector<PacketHandle> free_;
+  UpdatePool* updates_ = nullptr;
   std::uint64_t acquired_ = 0;
   std::uint64_t recycled_ = 0;
   std::size_t in_use_ = 0;

@@ -45,6 +45,13 @@ Psn::Psn(Network& net, net::NodeId id, routing::LinkCosts initial_costs)
     out_.emplace_back(lid,
                       metrics::DelayMeasurement{link.rate, link.prop_delay},
                       std::move(metric), std::move(filter), initial);
+    // Pre-size the rings to their working bounds so no queue grows
+    // mid-measurement: data_q is hard-capped at queue_capacity by the drop
+    // check in enqueue(); update_q's working set is one in-flight update
+    // per origin node.
+    OutLink& out = out_.back();
+    out.data_q.reserve(static_cast<std::size_t>(net.config().queue_capacity));
+    out.update_q.reserve(topo.node_count());
   }
 }
 
@@ -117,6 +124,8 @@ void Psn::originate_packet(Packet pkt) {
   forward(h);
 }
 
+// ARPALINT-HOTPATH-BEGIN: the per-packet forwarding core — receive,
+// route, enqueue, transmit completion — runs once per hop.
 void Psn::receive(PacketHandle h, net::LinkId via_link) {
   PacketPool& pool = net_.packet_pool();
   Packet& pkt = pool.at(h);
@@ -160,8 +169,11 @@ void Psn::forward(PacketHandle h) {
       for (const double c : spf_.costs()) min_cost = std::min(min_cost, c);
       const double tolerance =
           std::min(net_.config().multipath_tolerance, 0.49 * min_cost);
+      // ARPALINT-ALLOW(hot-path-alloc): the lazy multipath rebuild runs per
+      // cost change, not per packet, and only when multipath is enabled.
       mp_sets_ = routing::MultipathSets::compute(net_.topology(), id_,
                                                  spf_.costs(), tolerance);
+      // ARPALINT-ALLOW(hot-path-alloc): cursor vector retains capacity.
       mp_cursor_.assign(net_.topology().node_count(), 0);
       mp_dirty_ = false;
     }
@@ -185,6 +197,7 @@ void Psn::enqueue(OutLink& out, PacketHandle h, bool priority) {
   const Packet& pkt = net_.packet_pool().at(h);
   if (priority) {
     net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
+    // ARPALINT-ALLOW(hot-path-alloc): RingQueue retains its power-of-two capacity
     out.update_q.push_back(Queued{h, net_.now()});
   } else {
     if (static_cast<int>(out.data_q.size()) >= net_.config().queue_capacity) {
@@ -194,6 +207,7 @@ void Psn::enqueue(OutLink& out, PacketHandle h, bool priority) {
       return;
     }
     net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
+    // ARPALINT-ALLOW(hot-path-alloc): see above — capacity-retaining ring.
     out.data_q.push_back(Queued{h, net_.now()});
   }
   maybe_start_tx(out);
@@ -247,23 +261,38 @@ void Psn::on_transmit_complete(net::LinkId link, util::SimTime queue_delay,
   o.busy = false;
   maybe_start_tx(o);
 }
+// ARPALINT-HOTPATH-END
 
+// ARPALINT-HOTPATH-BEGIN: update receipt + flooding, once per flooded copy.
 void Psn::handle_update(PacketHandle h, net::LinkId via_link) {
   PacketPool& pool = net_.packet_pool();
-  // Keep the shared payload alive past the slot's release.
-  const std::shared_ptr<const routing::RoutingUpdate> update =
-      std::move(pool.at(h).update);
+  UpdatePool& updates = net_.update_pool();
+  // Take over the packet's reference before the slot is reset, keeping the
+  // pooled payload alive past the release.
+  const UpdateHandle uh = pool.at(h).update;
+  pool.at(h).update = kInvalidUpdateHandle;
   pool.release(h);
-  if (!update) throw std::logic_error("update packet without payload");
-  if (!flood_state_.accept(*update)) return;  // duplicate
-  for (const routing::LinkCostReport& r : update->reports) {
+  if (uh == kInvalidUpdateHandle) {
+    throw std::logic_error("update packet without payload");
+  }
+  const routing::RoutingUpdate& update = updates.at(uh);
+  if (!flood_state_.accept(update)) {  // duplicate
+    updates.release(uh);
+    return;
+  }
+  for (const routing::LinkCostReport& r : update.reports) {
     spf_.set_cost(r.link, r.cost);
   }
   mp_dirty_ = true;
-  flood_copies(update, via_link);
+  flood_copies(uh, via_link);
+  updates.release(uh);
 }
+// ARPALINT-HOTPATH-END
 
+// ARPALINT-HOTPATH-BEGIN: the 10-second metric timer fires throughout the
+// measurement window on every node.
 void Psn::measurement_period() {
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
   candidate_scratch_.assign(out_.size(), 0.0);
   std::span<double> candidates{candidate_scratch_};
   bool significant = false;
@@ -283,12 +312,16 @@ void Psn::measurement_period() {
   net_.simulator().schedule_in(net_.config().measurement_period,
                                SimEvent::measurement_period(net_, id_));
 }
+// ARPALINT-HOTPATH-END
 
+// ARPALINT-HOTPATH-BEGIN: update origination runs inside the measurement
+// window whenever a period's cost change is significant.
 void Psn::originate_update(std::span<const double> candidates) {
-  auto update = std::make_shared<routing::RoutingUpdate>();
-  update->origin = id_;
-  update->seq = ++seq_;
-  update->reports.reserve(out_.size());
+  UpdatePool& updates = net_.update_pool();
+  const UpdateHandle uh = updates.acquire();
+  routing::RoutingUpdate& update = updates.at(uh);
+  update.origin = id_;
+  update.seq = ++seq_;
   for (std::size_t i = 0; i < out_.size(); ++i) {
     OutLink& o = out_[i];
     // Every advertised cost must keep SPF well-defined (positive, finite);
@@ -299,7 +332,8 @@ void Psn::originate_update(std::span<const double> candidates) {
     // trip the filter themselves become the new baseline anyway.
     o.filter.force_report(candidates[i]);
     o.reported = candidates[i];
-    update->reports.push_back({o.id, candidates[i]});
+    // ARPALINT-ALLOW(hot-path-alloc): recycled slots keep their reports capacity
+    update.reports.push_back({o.id, candidates[i]});
     net_.on_cost_reported(o.id, candidates[i]);
     // Apply locally at once: the PSN's own table always reflects its own
     // latest reports.
@@ -309,17 +343,17 @@ void Psn::originate_update(std::span<const double> candidates) {
   ++updates_originated_;
   net_.on_update_originated();
   // Record our own sequence number so flooded-back copies are rejected.
-  flood_state_.accept(*update);
-  flood_copies(update, net::kInvalidLink);
+  flood_state_.accept(update);
+  flood_copies(uh, net::kInvalidLink);
+  updates.release(uh);
 }
 
-void Psn::flood_copies(
-    const std::shared_ptr<const routing::RoutingUpdate>& update,
-    net::LinkId arrived_on) {
+void Psn::flood_copies(UpdateHandle update, net::LinkId arrived_on) {
   const net::LinkId except =
       arrived_on == net::kInvalidLink
           ? net::kInvalidLink
           : net_.topology().link(arrived_on).reverse;
+  UpdatePool& updates = net_.update_pool();
   for (OutLink& o : out_) {
     if (o.id == except) continue;
     PacketPool& pool = net_.packet_pool();
@@ -327,13 +361,15 @@ void Psn::flood_copies(
     Packet& pkt = pool.at(h);
     pkt.id = net_.next_packet_id();
     pkt.kind = Packet::Kind::kRoutingUpdate;
-    pkt.src = update->origin;
-    pkt.bits = update->wire_bits();
+    pkt.src = updates.at(update).origin;
+    pkt.bits = updates.at(update).wire_bits();
     pkt.created = net_.now();
     pkt.update = update;
+    updates.add_ref(update);
     enqueue(o, h, /*priority=*/true);
   }
 }
+// ARPALINT-HOTPATH-END
 
 // ---- the 1969 distance-vector mode ----
 

@@ -123,8 +123,7 @@ class Psn {
   void maybe_start_tx(OutLink& out);
   void handle_update(PacketHandle pkt, net::LinkId via_link);
   void originate_update(std::span<const double> candidates);
-  void flood_copies(const std::shared_ptr<const routing::RoutingUpdate>& update,
-                    net::LinkId arrived_on);
+  void flood_copies(UpdateHandle update, net::LinkId arrived_on);
   OutLink& out_for(net::LinkId link);
 
   // --- the 1969 distance-vector mode ---

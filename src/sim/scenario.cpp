@@ -5,6 +5,7 @@
 
 #include "src/net/builders/registry.h"
 #include "src/obs/stopwatch.h"
+#include "src/util/alloc_guard.h"
 
 namespace arpanet::sim {
 
@@ -139,7 +140,19 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     network.add_traffic(scenario_matrix(topo, cfg));
     network.run_for(cfg.warmup);
     network.reset_stats();
-    network.run_for(cfg.window);
+    // Pre-extend the bucketed series past the window, then count every
+    // heap allocation the steady-state phase makes. Zero is the expected
+    // Release-build value for the battery topologies (the pools and
+    // scratch buffers reach their high-water capacity during warm-up);
+    // the count is reported, not asserted, so debug/sanitizer builds and
+    // unusual configs stay valid.
+    network.reserve_stats_until(network.now() + cfg.window);
+    std::uint64_t window_alloc_bytes = 0;
+    {
+      const util::AllocGuard guard;
+      network.run_for(cfg.window);
+      window_alloc_bytes = guard.bytes();
+    }
     result.indicators =
         network.indicators(label.empty() ? cfg.effective_label() : label);
     result.stats = network.stats();
@@ -147,6 +160,8 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
       result.audit = analysis::audit_network(network);
     }
     result.counters = network.counters();
+    result.counters.alloc_guard_scopes = 1;
+    result.counters.alloc_guard_bytes_peak = window_alloc_bytes;
     result.events_processed = network.simulator().events_processed();
   }
   return result;

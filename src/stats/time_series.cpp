@@ -17,4 +17,10 @@ void TimeSeries::add(util::SimTime when, double amount) {
   buckets_[idx] += amount;
 }
 
+void TimeSeries::reserve_until(util::SimTime when) {
+  if (when < util::SimTime::zero()) return;
+  const auto idx = static_cast<std::size_t>(when.us() / width_.us());
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+}
+
 }  // namespace arpanet::stats

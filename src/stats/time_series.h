@@ -19,6 +19,11 @@ class TimeSeries {
 
   void add(util::SimTime when, double amount);
 
+  /// Pre-extends the bucket array to cover times up to `when`, so add()
+  /// calls at or before it never grow the vector — the piece that lets a
+  /// measurement window run under an allocation guard (util/alloc_guard.h).
+  void reserve_until(util::SimTime when);
+
   [[nodiscard]] util::SimTime bucket_width() const { return width_; }
   [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
   [[nodiscard]] double bucket(std::size_t i) const {

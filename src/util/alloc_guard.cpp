@@ -1,0 +1,129 @@
+// Global operator new/delete replacement with per-thread accounting.
+//
+// Every replaceable allocation form funnels into counted_alloc(), which
+// bumps two thread_local counters and delegates to std::malloc (aligned
+// requests via posix_memalign); every delete form funnels into std::free,
+// which handles both. Replacing the operators here — in the translation
+// unit that also defines AllocGuard — means any binary using the guard
+// links the counting allocator automatically, and binaries that never
+// reference it keep the toolchain default.
+//
+// Works under the sanitizers: ASan/TSan intercept the underlying malloc /
+// free, so leak and race detection still see every allocation; only
+// new/delete mismatch checking is ceded, which the tier-1 non-sanitized
+// build retains. The counters are trivially-destructible thread_locals, so
+// the operators are safe during static initialization and thread start-up.
+
+#include "src/util/alloc_guard.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace arpanet::util {
+
+namespace {
+
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_bytes = 0;
+
+void* counted_alloc(std::size_t size, std::size_t align) noexcept {
+  ++t_allocations;
+  t_bytes += size;
+  if (align <= alignof(std::max_align_t)) return std::malloc(size);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+void* counted_alloc_or_throw(std::size_t size, std::size_t align) {
+  for (;;) {
+    if (void* p = counted_alloc(size, align)) return p;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc{};
+    handler();
+  }
+}
+
+}  // namespace
+
+AllocGuard::AllocGuard()
+    : start_allocations_{t_allocations}, start_bytes_{t_bytes} {}
+
+std::uint64_t AllocGuard::allocations() const {
+  return t_allocations - start_allocations_;
+}
+
+std::uint64_t AllocGuard::bytes() const { return t_bytes - start_bytes_; }
+
+std::uint64_t thread_allocations() { return t_allocations; }
+
+std::uint64_t thread_alloc_bytes() { return t_bytes; }
+
+}  // namespace arpanet::util
+
+// ---- replaced global allocation functions ----
+
+namespace {
+constexpr std::size_t kDefaultAlign = alignof(std::max_align_t);
+}
+
+void* operator new(std::size_t size) {
+  return arpanet::util::counted_alloc_or_throw(size, kDefaultAlign);
+}
+
+void* operator new[](std::size_t size) {
+  return arpanet::util::counted_alloc_or_throw(size, kDefaultAlign);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return arpanet::util::counted_alloc_or_throw(
+      size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return arpanet::util::counted_alloc_or_throw(
+      size, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return arpanet::util::counted_alloc(size, kDefaultAlign);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return arpanet::util::counted_alloc(size, kDefaultAlign);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return arpanet::util::counted_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return arpanet::util::counted_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

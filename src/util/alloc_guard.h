@@ -1,0 +1,52 @@
+// Runtime allocation accounting: the dynamic complement to arpalint's
+// static hot-path-alloc rule (tools/arpalint, docs/static_analysis.md).
+//
+// The static analyzer proves the annotated hot regions contain no
+// lexically-visible allocating calls; AllocGuard proves the runtime truth —
+// that a steady-state measurement window really performs zero heap
+// allocations — by interposing the global operator new/delete (see
+// alloc_guard.cpp) and counting per-thread. An RAII guard snapshots the
+// thread's counters on entry, so `guard.allocations()` is exactly the
+// number of heap allocations this thread made inside the scope.
+//
+// The interposed operators count unconditionally into thread_local
+// integers (two increments per allocation — negligible against the
+// allocation itself), so guards nest trivially and sweep worker threads
+// never contend. sim::run_scenario wraps every measurement window in a
+// guard and reports the result through obs::Counters
+// (alloc_guard_scopes / alloc_guard_bytes_peak); tests/stress_test.cpp
+// asserts the arpanet87 battery cell's window counts zero under Release.
+
+#pragma once
+
+#include <cstdint>
+
+namespace arpanet::util {
+
+/// Counts this thread's heap allocations between construction and the call
+/// sites of allocations()/bytes(). Cheap enough to wrap every measurement
+/// window unconditionally.
+class AllocGuard {
+ public:
+  AllocGuard();
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Heap allocations (operator new calls) this thread made since the
+  /// guard was constructed.
+  [[nodiscard]] std::uint64_t allocations() const;
+  /// Bytes requested by those allocations.
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  std::uint64_t start_allocations_;
+  std::uint64_t start_bytes_;
+};
+
+/// Lifetime totals for the calling thread (monotonic; what AllocGuard
+/// snapshots). Exposed for tests of the interposition itself.
+[[nodiscard]] std::uint64_t thread_allocations();
+[[nodiscard]] std::uint64_t thread_alloc_bytes();
+
+}  // namespace arpanet::util

@@ -1,0 +1,67 @@
+// The allocation-accounting interposer (src/util/alloc_guard.h): the
+// replaced operator new must count every heap allocation this thread makes,
+// guards must nest independently, and reserved containers must register
+// zero allocations — the property the steady-state assertion in
+// stress_test.cpp builds on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/alloc_guard.h"
+
+namespace arpanet::util {
+namespace {
+
+TEST(AllocGuardTest, CountsThisThreadsAllocationsAndBytes) {
+  const AllocGuard guard;
+  auto* p = new std::uint64_t{41};
+  EXPECT_GE(guard.allocations(), 1u);
+  EXPECT_GE(guard.bytes(), sizeof(std::uint64_t));
+  delete p;
+  // Frees never decrement: the counters are monotonic totals, so a scope
+  // that allocates-and-frees still shows its churn.
+  EXPECT_GE(guard.allocations(), 1u);
+}
+
+TEST(AllocGuardTest, GuardsNestIndependently) {
+  const AllocGuard outer;
+  auto first = std::make_unique<int>(1);
+  const std::uint64_t outer_before_inner = outer.allocations();
+  {
+    const AllocGuard inner;
+    auto second = std::make_unique<int>(2);
+    EXPECT_GE(inner.allocations(), 1u);
+    EXPECT_GE(outer.allocations(), outer_before_inner + inner.allocations());
+  }
+  EXPECT_GE(outer.allocations(), 2u);
+}
+
+TEST(AllocGuardTest, ReservedVectorChurnCountsZero) {
+  std::vector<std::uint64_t> v;
+  v.reserve(256);
+  const AllocGuard guard;
+  for (std::uint64_t i = 0; i < 256; ++i) v.push_back(i);
+  for (int i = 0; i < 200; ++i) v.pop_back();
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "pushes within reserved capacity must not touch the allocator";
+  EXPECT_EQ(guard.bytes(), 0u);
+}
+
+TEST(AllocGuardTest, LifetimeTotalsAreMonotonic) {
+  const std::uint64_t before = thread_allocations();
+  const std::uint64_t bytes_before = thread_alloc_bytes();
+  char* p = new char[64];
+  // Escape the pointer: the standard permits eliding a new/delete pair
+  // whose result is unused, which would skip the counted operator.
+  asm volatile("" : : "g"(p) : "memory");
+  EXPECT_GT(thread_allocations(), before);
+  EXPECT_GE(thread_alloc_bytes(), bytes_before + 64);
+  delete[] p;
+}
+
+}  // namespace
+}  // namespace arpanet::util

@@ -18,7 +18,8 @@ std::string doc(double rate, long events = 1000) {
   std::ostringstream os;
   os << R"({
   "schema": "arpanet-bench-metrics",
-  "schema_version": 3,
+  "schema_version": )"
+     << kBenchSchemaVersion << R"(,
   "battery": "smoke",
   "elapsed_sec": 1.5,
   "scenarios": [

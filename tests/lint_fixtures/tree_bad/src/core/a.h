@@ -1,0 +1,9 @@
+// Fixture: one half of a file-level include cycle.
+
+#pragma once
+
+#include "src/core/b.h"
+
+namespace fixture {
+inline int a_value();
+}  // namespace fixture

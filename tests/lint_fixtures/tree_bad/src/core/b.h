@@ -1,0 +1,9 @@
+// Fixture: the other half of a file-level include cycle.
+
+#pragma once
+
+#include "src/core/a.h"
+
+namespace fixture {
+inline int b_value();
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: every hot-path-alloc and directive violation arpalint must catch.
+// ARPALINT-HOTPATH
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// ARPALINT-ALLOW(bogus-rule): misspelled rule names must be rejected
+inline int leak_in_hot_path() {
+  int* p = new int{7};  // operator new in a hot region
+  std::vector<int> v;
+  v.push_back(*p);  // allocating member call without an ALLOW
+  delete p;
+  return v.front();
+}
+
+inline int nondeterministic_sum(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> table;
+  table.emplace(1, 2);
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += k + v;  // unordered iteration
+  (void)unused;
+  return sum;
+}
+
+}  // namespace fixture
+
+// ARPALINT-HOTPATH-END

@@ -1,0 +1,18 @@
+// Fixture: layer, determinism and assert violations in a util-layer file.
+
+#pragma once
+
+#include <cassert>
+#include <cstdlib>
+
+#include "src/sim/engine.h"
+
+namespace fixture {
+
+inline int roll() {
+  const int r = rand();  // seed-uncontrolled RNG
+  assert(r >= 0);        // raw assert instead of ARPA_CHECK
+  return r;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: a legitimate layer override — this file lives under obs/ but
+// declares itself util-layer so lower layers may include it, and its own
+// includes stay within the overridden rank.
+// ARPALINT-LAYER(util): pure value type with no project includes
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+struct Meta {
+  std::uint64_t id = 0;
+};
+}  // namespace fixture

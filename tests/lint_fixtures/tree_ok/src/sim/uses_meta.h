@@ -1,0 +1,12 @@
+// Fixture: a sim-layer file including an obs/ header that carries a
+// util-layer override — legal only because the override lowers the
+// target's rank.
+
+#pragma once
+
+#include "src/obs/meta.h"
+#include "src/util/ok_util.h"
+
+namespace fixture {
+inline fixture::Meta tagged() { return {}; }
+}  // namespace fixture

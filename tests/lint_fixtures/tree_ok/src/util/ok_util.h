@@ -1,0 +1,32 @@
+// Fixture: the legal counterparts of everything tree_bad trips over —
+// arpalint must stay silent on this whole tree.
+
+#pragma once
+
+#include <map>
+#include <new>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// ARPALINT-HOTPATH-BEGIN
+inline int hot_but_clean(std::vector<int>& scratch, void* buf) {
+  // ARPALINT-ALLOW(hot-path-alloc): scratch retains capacity across calls
+  scratch.push_back(1);
+  int* p = new (buf) int{2};  // placement new is allocation-free
+  return scratch.back() + *p;
+}
+// ARPALINT-HOTPATH-END
+
+// Lookups (not iteration) on unordered containers are deterministic.
+inline int lookup(const std::unordered_map<int, int>& table, int key) {
+  const auto it = table.find(key);
+  return it == table.end() ? -1 : it->second;
+}
+
+// Value-keyed ordered containers iterate deterministically.
+inline std::map<std::string, int> make_index() { return {}; }
+
+}  // namespace fixture

@@ -26,7 +26,7 @@ using util::SimTime;
 
 TEST(CountersTest, CatalogCoversEveryFieldOnce) {
   const auto catalog = Counters::catalog();
-  EXPECT_EQ(catalog.size(), 17u);
+  EXPECT_EQ(catalog.size(), 19u);
 
   std::set<std::string> names;
   for (const Counters::Entry& e : catalog) names.insert(e.name);

@@ -52,16 +52,37 @@ TEST(PacketPoolTest, SlotAddressesAreStableAcrossGrowth) {
   EXPECT_EQ(&pool.at(first), addr);
 }
 
-TEST(PacketPoolTest, ReleaseDropsSharedPayloadReferences) {
+TEST(PacketPoolTest, ReleaseDropsPooledUpdateReferences) {
   PacketPool pool;
-  auto update = std::make_shared<routing::RoutingUpdate>();
-  std::weak_ptr<const routing::RoutingUpdate> watch = update;
+  UpdatePool updates;
+  pool.attach_update_pool(&updates);
+
+  const UpdateHandle uh = updates.acquire();
+  updates.at(uh).origin = 7;
+  EXPECT_EQ(updates.in_use(), 1u);
 
   const PacketHandle h = pool.acquire();
-  pool.at(h).update = std::move(update);
+  pool.at(h).update = uh;
   pool.release(h);
-  EXPECT_TRUE(watch.expired())
-      << "a parked slot must not pin routing-update payloads";
+  EXPECT_EQ(updates.in_use(), 0u)
+      << "a parked slot must not pin routing-update slots";
+
+  // The freed slot is recycled with its reports capacity intact and its
+  // identity fields reset.
+  const UpdateHandle again = updates.acquire();
+  EXPECT_EQ(again, uh);
+  EXPECT_EQ(updates.at(again).origin, net::kInvalidNode);
+  EXPECT_EQ(updates.recycled(), 1u);
+}
+
+TEST(UpdatePoolTest, AddRefKeepsSlotAliveUntilLastRelease) {
+  UpdatePool updates;
+  const UpdateHandle h = updates.acquire();
+  updates.add_ref(h);
+  updates.release(h);
+  EXPECT_EQ(updates.in_use(), 1u) << "one reference should still be live";
+  updates.release(h);
+  EXPECT_EQ(updates.in_use(), 0u);
 }
 
 TEST(PacketPoolTest, AcquireWithPacketMovesItIn) {

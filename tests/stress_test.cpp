@@ -7,6 +7,7 @@
 #include "src/analysis/convergence.h"
 #include "src/net/builders/builders.h"
 #include "src/sim/network.h"
+#include "src/sim/scenario.h"
 
 namespace arpanet::sim {
 namespace {
@@ -80,6 +81,47 @@ TEST(StressTest, SustainedSaturationStaysLive) {
   EXPECT_GT(s.packets_delivered, 50'000);
   EXPECT_GT(s.packets_dropped_queue, 10'000);
   EXPECT_GT(s.updates_originated, 50);  // control plane survived
+}
+
+// Allocation counters misbehave only as noise under sanitizers (ASan/TSan
+// shadow structures and interceptors allocate through our operator new), so
+// the zero assertion applies to plain optimized builds only; the counters
+// themselves are still exercised everywhere.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ARPANET_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ARPANET_TEST_SANITIZED 1
+#endif
+#endif
+
+TEST(StressTest, Arpanet87BatteryWindowIsAllocationFree) {
+  // Mirror the bench battery's arpanet87 cell (src/obs/bench_report.cpp):
+  // HN-SPF, 600 kb/s peak-hour load, 60 s warm-up, 120 s window. After
+  // warm-up every pool and scratch buffer must be at its high-water mark,
+  // so the guarded measurement window performs zero heap allocations.
+  const auto net87 = net::builders::arpanet87();
+  auto cfg = ScenarioConfig{}
+                 .with_metric(metrics::MetricKind::kHnSpf)
+                 .with_load_bps(600e3)
+                 .with_warmup(SimTime::from_sec(60))
+                 .with_window(SimTime::from_sec(120));
+  const ScenarioResult r = run_scenario(net87.topo, cfg, "alloc-guard");
+
+  // run_scenario wraps exactly the measurement window in an AllocGuard and
+  // reports through the counters catalog.
+  EXPECT_EQ(r.counters.alloc_guard_scopes, 1u);
+#if defined(NDEBUG) && !defined(ARPANET_TEST_SANITIZED)
+  EXPECT_EQ(r.counters.alloc_guard_bytes_peak, 0u)
+      << "steady-state measurement window allocated on the heap; find the "
+         "site with util::AllocGuard and pre-reserve it (see "
+         "docs/static_analysis.md)";
+#else
+  // Debug/sanitized builds allocate in DCHECK plumbing and interceptors;
+  // just prove the plumbing reported something sane.
+  SUCCEED() << "bytes_peak=" << r.counters.alloc_guard_bytes_peak;
+#endif
+  EXPECT_GT(r.stats.packets_delivered, 10'000);
 }
 
 TEST(StressTest, DelayPercentilesOrdered) {

@@ -1,0 +1,26 @@
+# Byte-determinism check: two arpalint --json runs over the same tree must
+# produce identical bytes (findings are sorted, no timestamps/host state).
+# Invoked by the arpalint_json_determinism ctest entry with
+# -DARPALINT=<binary> -DROOT=<repo root> -DWORK=<scratch dir>.
+
+if(NOT ARPALINT OR NOT ROOT OR NOT WORK)
+  message(FATAL_ERROR "usage: cmake -DARPALINT=... -DROOT=... -DWORK=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+foreach(run 1 2)
+  execute_process(COMMAND ${ARPALINT} --root=${ROOT}
+                          --json=${WORK}/arpalint_run${run}.json
+                          src tools tests
+                  OUTPUT_QUIET RESULT_VARIABLE rc)
+  if(rc GREATER 1)
+    message(FATAL_ERROR "arpalint run ${run} failed with exit ${rc}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK}/arpalint_run1.json ${WORK}/arpalint_run2.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "arpalint --json output differs between two identical runs")
+endif()
+message(STATUS "arpalint JSON is byte-identical across runs")

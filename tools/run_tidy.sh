@@ -22,6 +22,10 @@ jobs="${TIDY_JOBS:-$(nproc)}"
 if ! command -v "${clang_tidy}" >/dev/null 2>&1; then
   echo "run_tidy.sh: ${clang_tidy} not found; skipping the lint gate" \
        "(install clang-tidy to enforce it locally)" >&2
+  echo "run_tidy.sh: the in-tree analyzer still applies without clang:" \
+       "build the arpalint target and run 'ctest -R arpalint', or" \
+       "'<build>/tools/arpalint src tools tests' directly" \
+       "(docs/static_analysis.md)" >&2
   exit 0
 fi
 
