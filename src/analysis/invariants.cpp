@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "src/metrics/metric_factory.h"
 #include "src/sim/network.h"
@@ -158,6 +160,80 @@ void check_spf_tree(const net::Topology& topo, const routing::SpfTree& tree,
   }
 }
 
+AuditStats check_reachable_within_component(const sim::Network& net) {
+  AuditStats stats;
+  if (net.config().algorithm != routing::RoutingAlgorithm::kSpf) return stats;
+  const net::Topology& topo = net.topology();
+  const std::size_t n = topo.node_count();
+
+  // Connected components over administratively-up trunks only.
+  std::vector<int> comp(n, -1);
+  std::vector<net::NodeId> frontier;
+  int component_count = 0;
+  for (net::NodeId s = 0; s < n; ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = component_count;
+    frontier.assign(1, s);
+    while (!frontier.empty()) {
+      const net::NodeId at = frontier.back();
+      frontier.pop_back();
+      const auto out = topo.out_links(at);
+      const auto targets = topo.out_targets(at);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (!net.link_admin_up(out[i])) continue;
+        if (comp[targets[i]] != -1) continue;
+        comp[targets[i]] = component_count;
+        frontier.push_back(targets[i]);
+      }
+    }
+    ++component_count;
+  }
+
+  // Walk each pair's forwarding chain hop by hop through the PSNs' own
+  // trees. With flooding quiesced every PSN holds the same cost map, so a
+  // chain follows one consistent SPF tree: either it reaches `dst` within
+  // n hops or some node has no first hop at all.
+  for (net::NodeId src = 0; src < n; ++src) {
+    for (net::NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      net::NodeId at = src;
+      bool reached = false;
+      bool saw_down = false;
+      bool dead_end = false;
+      for (std::size_t steps = 0; steps <= n; ++steps) {
+        if (at == dst) {
+          reached = true;
+          break;
+        }
+        const net::LinkId hop = net.psn(at).tree().first_hop[dst];
+        if (hop == net::kInvalidLink) {
+          dead_end = true;
+          break;
+        }
+        if (!net.link_admin_up(hop)) saw_down = true;
+        at = topo.link(hop).to;
+      }
+      ARPA_CHECK(reached || dead_end)
+          << "forwarding chain " << src << " -> " << dst
+          << " loops: " << topo.node_count() << " hops without arriving";
+      if (comp[src] == comp[dst]) {
+        ARPA_CHECK(reached) << "same-component pair " << src << " -> " << dst
+                            << " has no forwarding chain";
+        ARPA_CHECK(!saw_down)
+            << "route " << src << " -> " << dst
+            << " crosses an administratively down link although both nodes "
+               "share a component of the up subgraph";
+      } else {
+        ARPA_CHECK(saw_down || dead_end)
+            << "cross-partition pair " << src << " -> " << dst
+            << " has an all-up forwarding chain; component labeling is wrong";
+      }
+      ++stats.routes_checked;
+    }
+  }
+  return stats;
+}
+
 AuditStats audit_network(const sim::Network& net) {
   const net::Topology& topo = net.topology();
   const sim::NetworkConfig& cfg = net.config();
@@ -172,12 +248,15 @@ AuditStats audit_network(const sim::Network& net) {
       kind_factory && kind_factory->kind() == metrics::MetricKind::kHnSpf;
 
   for (const net::Link& link : topo.links()) {
-    const core::LineTypeParams& params = cfg.line_params.for_type(link.type);
+    // Mid-run line-type upgrades swap a link's type and rate; bounds, flat
+    // regions and the live cost are judged against the record in effect
+    // now, while trace steps are judged against the era they happened in.
+    const net::Link& live = net.effective_link(link.id);
 
     const double reported = net.psn(link.from).reported_cost(link.id);
     if (!is_down_cost(reported)) {
       if (const auto bounds =
-              net.metric_factory().bounds(link, cfg.line_params)) {
+              net.metric_factory().bounds(live, cfg.line_params)) {
         check_cost_in_bounds(Cost{reported}, Cost{bounds->min_cost},
                              Cost{bounds->max_cost});
       } else {
@@ -189,28 +268,52 @@ AuditStats audit_network(const sim::Network& net) {
     }
 
     if (hnspf) {
-      check_flat_region(
-          core::HnMetric{params, link.rate, link.prop_delay});
+      check_flat_region(core::HnMetric{cfg.line_params.for_type(live.type),
+                                       live.rate, live.prop_delay});
       ++stats.maps_checked;
     }
 
     if (cfg.track_reported_costs) {
-      // Report-to-report movement may accumulate sub-threshold drift on
-      // top of one period's limited move before an update carries it.
-      const double threshold = cfg.significance_threshold_override >= 0.0
-                                   ? cfg.significance_threshold_override
-                                   : params.change_threshold();
+      // This link's applied upgrades, in sim-time order (the network
+      // appends them as they fire).
+      std::vector<std::pair<util::SimTime, net::LineType>> eras;
+      for (const sim::Network::AppliedUpgrade& u : net.upgrades_applied()) {
+        if (u.link == link.id) eras.emplace_back(u.at, u.type);
+      }
+      const auto type_at = [&](util::SimTime t) {
+        net::LineType type = link.type;
+        for (const auto& [at, next] : eras) {
+          if (at <= t) type = next;
+        }
+        return type;
+      };
+      const auto upgraded_between = [&](util::SimTime a, util::SimTime b) {
+        for (const auto& [at, next] : eras) {
+          if (at > a && at <= b) return true;
+        }
+        return false;
+      };
       MonotonicTimeChecker times{"reported-cost trace"};
+      util::SimTime previous_at = util::SimTime::zero();
       double previous = kInf;
       for (const auto& [at, cost] : net.reported_cost_trace(link.id)) {
         times.observe(at);
         if (hnspf && previous != kInf && !is_down_cost(previous) &&
-            !is_down_cost(cost)) {
+            !is_down_cost(cost) && !upgraded_between(previous_at, at)) {
+          // Report-to-report movement may accumulate sub-threshold drift
+          // on top of one period's limited move before an update carries
+          // it; limits come from the line type in effect at the step.
+          const core::LineTypeParams& params =
+              cfg.line_params.for_type(type_at(at));
+          const double threshold = cfg.significance_threshold_override >= 0.0
+                                       ? cfg.significance_threshold_override
+                                       : params.change_threshold();
           check_movement_limited(Cost{previous}, Cost{cost}, params,
                                  threshold);
           ++stats.trace_steps_checked;
         }
         previous = cost;
+        previous_at = at;
       }
     }
   }
@@ -220,6 +323,12 @@ AuditStats audit_network(const sim::Network& net) {
       const routing::IncrementalSpf& spf = net.psn(node).spf();
       check_spf_tree(topo, spf.tree(), spf.costs());
       ++stats.trees_checked;
+    }
+    if (net.updates_in_flight() == 0) {
+      // Maps agree network-wide only once flooding has quiesced; mid-flood
+      // the per-PSN trees legitimately disagree and pair routes may
+      // transiently loop, so the route audit would false-positive.
+      stats += check_reachable_within_component(net);
     }
   }
 

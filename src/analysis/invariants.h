@@ -131,15 +131,34 @@ struct AuditStats {
   long trace_steps_checked = 0;  ///< cost-trace transitions, movement-checked
   long trees_checked = 0;        ///< per-PSN SPF trees validated
   long maps_checked = 0;         ///< per-link equilibrium maps validated
+  long routes_checked = 0;       ///< node pairs route-audited (both kinds)
 
   AuditStats& operator+=(const AuditStats& o) {
     costs_checked += o.costs_checked;
     trace_steps_checked += o.trace_steps_checked;
     trees_checked += o.trees_checked;
     maps_checked += o.maps_checked;
+    routes_checked += o.routes_checked;
     return *this;
   }
 };
+
+/// Partition-aware forwarding audit (SPF mode). Computes the connected
+/// components of the *administratively up* trunks, then checks every
+/// ordered node pair: same-component pairs must have a working forwarding
+/// chain (each hop's link admin-up, no loop, terminating at the
+/// destination); cross-component pairs must not — their chains are allowed
+/// only if they traverse a down link (a down link advertises the finite
+/// Psn::kDownLinkCost, so SPF trees stay total and "routes" through the
+/// cut exist structurally but would black-hole).
+///
+/// Replaces the old audit assumption that every pair is mutually reachable,
+/// which false-positived the moment a fault plan legitimately partitioned
+/// the network. Only meaningful once flooding has quiesced
+/// (Network::updates_in_flight() == 0) — callers must gate on that, as the
+/// per-PSN maps may legitimately disagree mid-flood. Returns counts of the
+/// pairs checked; violations abort via ARPA_CHECK.
+AuditStats check_reachable_within_component(const sim::Network& net);
 
 /// Full-network self-audit; any violated invariant aborts via ARPA_CHECK.
 /// Always checks that reported costs are positive and finite and (in SPF

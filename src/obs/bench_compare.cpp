@@ -210,11 +210,16 @@ class JsonParser {
 /// Fields derived from host wall time: excluded from the deterministic-work
 /// diff and handled by the noise-band rate check instead. alloc_guard
 /// bytes_peak rides along — it is zero in Release but tracks the build's
-/// allocator/instrumentation, not the simulation's work.
+/// allocator/instrumentation, not the simulation's work. Stability's
+/// reconverge_sec is sim time (deterministic per config) but shifts with
+/// any change to fault/flood phasing, so the trend gate grants it the same
+/// band instead of exact equality (the golden smoke test still pins it
+/// byte-exactly for a fixed build).
 bool is_wall_time_field(const std::string& path) {
   return path == "wall_sec" || path == "events_per_sec" ||
          path == "ops_per_sec" || path == "build_sec" || path == "spf_sec" ||
-         path == "spf_nodes_per_sec" || path == "alloc_guard.bytes_peak";
+         path == "spf_nodes_per_sec" || path == "alloc_guard.bytes_peak" ||
+         path == "stability.reconverge_sec";
 }
 
 /// Flattens every numeric leaf of a cell into ("spf.full", value) pairs, in
@@ -370,6 +375,22 @@ CompareReport compare_parsed(const JsonValue& base, const JsonValue& cur,
       if (std::abs(cv - bv) > tol) {
         violate(name + ": " + bw[f].first + " " + fmt(bv) + " -> " + fmt(cv) +
                 " (deterministic work drifted; the simulation changed)");
+      }
+    }
+
+    // Stability counts were diffed exactly above with the other numeric
+    // leaves; the reconvergence time gets the noise band (it is sim time,
+    // but any legitimate re-phasing of floods shifts it slightly).
+    const JsonValue* base_stab = b.find("stability");
+    const JsonValue* cur_stab = c.find("stability");
+    if (base_stab != nullptr && cur_stab != nullptr) {
+      const double br = number_field(*base_stab, "reconverge_sec");
+      const double cr = number_field(*cur_stab, "reconverge_sec");
+      const double tol = options.rate_noise * std::max(std::abs(br), 1.0);
+      if (std::abs(cr - br) > tol) {
+        violate(name + ": stability.reconverge_sec " + fmt(br) + " -> " +
+                fmt(cr) + " (outside the " + fmt(options.rate_noise) +
+                " noise band)");
       }
     }
 

@@ -27,13 +27,14 @@ namespace {
 
 BenchScenario make_scenario(std::string name, net::Topology topo,
                             double load_bps, double warmup_sec,
-                            double window_sec) {
+                            double window_sec, std::string fault_spec = "") {
   return BenchScenario{
       .name = std::move(name),
       .topo = std::move(topo),
       .offered_load_bps = load_bps,
       .warmup = util::SimTime::from_sec(warmup_sec),
-      .window = util::SimTime::from_sec(window_sec)};
+      .window = util::SimTime::from_sec(window_sec),
+      .fault_spec = std::move(fault_spec)};
 }
 
 BenchCell make_cell(const BenchScenario& scenario, const exp::SweepRun& run) {
@@ -53,6 +54,12 @@ BenchCell make_cell(const BenchScenario& scenario, const exp::SweepRun& run) {
   cell.delay_p99_ms = run.result.indicators.delay_p99_ms;
   cell.audit_costs_checked = run.result.audit.costs_checked;
   cell.audit_trees_checked = run.result.audit.trees_checked;
+  cell.fault_spec = scenario.fault_spec;
+  cell.stability_route_changes = run.result.stability.route_changes;
+  cell.stability_flat_oscillations = run.result.stability.flat_oscillations;
+  cell.stability_max_movement = run.result.stability.max_movement;
+  cell.stability_faults_applied = run.result.stability.faults_applied;
+  cell.stability_reconverge_sec = run.result.stability.reconverge_sec;
   cell.events = run.result.events_processed;
   cell.wall_sec = run.result.wall_seconds;
   return cell;
@@ -143,6 +150,12 @@ std::vector<BenchScenario> bench_battery(const std::string& name) {
         make_scenario("ring6", net::builders::ring(6), 260e3, 20.0, 40.0));
     scenarios.push_back(
         make_scenario("grid3x3", net::builders::grid(3, 3), 550e3, 20.0, 40.0));
+    // One fault cell: a single flap 4 s into the window, healed 6 s later,
+    // so the stability section shows nonzero faults_applied and a
+    // deterministic reconverge_sec for the golden test to pin.
+    scenarios.push_back(make_scenario("ring6_flap", net::builders::ring(6),
+                                      260e3, 20.0, 40.0,
+                                      "flap:link=2,at_s=24,dwell_s=6"));
     return scenarios;
   }
   if (name == "battery") {
@@ -154,6 +167,10 @@ std::vector<BenchScenario> bench_battery(const std::string& name) {
     scenarios.push_back(make_scenario("milnet_like",
                                       net::builders::milnet_like(), 700e3,
                                       60.0, 120.0));
+    scenarios.push_back(make_scenario("arpanet87_flap",
+                                      net::builders::arpanet87().topo, 600e3,
+                                      60.0, 120.0,
+                                      "flap:link=10,at_s=150,dwell_s=15"));
     return scenarios;
   }
   throw std::invalid_argument("unknown bench battery: " + name);
@@ -267,6 +284,9 @@ BenchReport run_bench_battery(const std::string& battery, int threads) {
     base.offered_load_bps = scenario.offered_load_bps;
     base.warmup = scenario.warmup;
     base.window = scenario.window;
+    if (!scenario.fault_spec.empty()) {
+      base.with_faults(std::string_view{scenario.fault_spec});
+    }
     exp::SweepSpec spec;
     spec.base = base;
     spec.metrics = {metrics::MetricKind::kHnSpf, metrics::MetricKind::kDspf};
@@ -345,6 +365,17 @@ void BenchReport::write_json(std::ostream& os) const {
     w.member("scopes", c.counters.alloc_guard_scopes);
     w.member("bytes_peak", c.counters.alloc_guard_bytes_peak);
     w.end_object();
+    w.member("fault_spec", c.fault_spec);
+    w.key("stability").begin_object();
+    w.member("route_changes",
+             static_cast<std::int64_t>(c.stability_route_changes));
+    w.member("flat_oscillations",
+             static_cast<std::int64_t>(c.stability_flat_oscillations));
+    w.member("max_movement", c.stability_max_movement);
+    w.member("faults_applied",
+             static_cast<std::int64_t>(c.stability_faults_applied));
+    w.member("reconverge_sec", c.stability_reconverge_sec);
+    w.end_object();
     w.member("events", c.events);
     w.member("wall_sec", c.wall_sec);
     w.member("events_per_sec", c.events_per_sec());
@@ -411,6 +442,10 @@ std::vector<std::string> BenchReport::validate() const {
     require(c.packets_delivered > 0, "no packets delivered");
     require(c.events > 0, "no events processed");
     require(c.events_per_sec() > 0.0, "events_per_sec is zero");
+    if (!c.fault_spec.empty()) {
+      require(c.stability_faults_applied > 0,
+              "fault spec present but no fault action fired in the window");
+    }
   }
   for (const MicroCell& m : micro) {
     const std::string where = "micro " + m.name + ": ";

@@ -165,6 +165,7 @@ IncrementalSpf::IncrementalSpf(const net::Topology& topo, net::NodeId root,
   scratch_.stack.reserve(n);
   scratch_.child_start.reserve(n + 1);
   scratch_.child_list.reserve(n);
+  scratch_.prev_first_hop.reserve(n);
 }
 
 void IncrementalSpf::reset(LinkCosts costs) {
@@ -299,7 +300,12 @@ void IncrementalSpf::increase_pass(net::LinkId link) {
 }
 
 void IncrementalSpf::rederive_structure() {
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
+  scratch_.prev_first_hop.assign(tree_.first_hop.begin(), tree_.first_hop.end());
   derive_structure(*topo_, costs_, tree_, scratch_.order);
+  for (std::size_t v = 0; v < tree_.first_hop.size(); ++v) {
+    if (tree_.first_hop[v] != scratch_.prev_first_hop[v]) ++first_hop_changes_;
+  }
 }
 // ARPALINT-HOTPATH-END
 

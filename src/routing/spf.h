@@ -81,6 +81,9 @@ struct SpfScratch {
   /// child_start[u]) (start of node 0 is 0) — see increase_pass.
   std::vector<std::uint32_t> child_start;
   std::vector<net::NodeId> child_list;
+  /// first_hop snapshot taken before each re-derivation, for the
+  /// route-change counter.
+  std::vector<net::LinkId> prev_first_hop;
 };
 
 /// Resident incremental SPF, as run inside a PSN.
@@ -114,6 +117,10 @@ class IncrementalSpf {
   [[nodiscard]] long incremental_updates() const { return incremental_; }
   /// Total nodes whose distance was recomputed across incremental passes.
   [[nodiscard]] long nodes_touched() const { return nodes_touched_; }
+  /// Cumulative count of destinations whose first hop changed across all
+  /// updates — the stability layer's route-change metric. Monotone;
+  /// callers diff before/after a batch of set_cost calls.
+  [[nodiscard]] long first_hop_changes() const { return first_hop_changes_; }
 
  private:
   void rederive_structure();
@@ -128,6 +135,7 @@ class IncrementalSpf {
   long skipped_ = 0;
   long incremental_ = 0;
   long nodes_touched_ = 0;
+  long first_hop_changes_ = 0;
 };
 
 /// Hop counts of minimum-hop paths from every node (BFS). Used for the

@@ -171,6 +171,7 @@ struct SimEvent {
     kDvTick,             ///< index = node   — 1969 distance-vector exchange
     kHostFlowMessage,    ///< index = host-flow pair
     kHostFlowTimeout,    ///< index = pair, id = message, generation
+    kFaultAction,        ///< index = compiled fault-action index
   };
 
   SimEvent() noexcept { ::new (static_cast<void*>(&fn_)) SmallFn{}; }
@@ -290,6 +291,13 @@ struct SimEvent {
     ev.typed_.index = pair_index;
     ev.typed_.id = message_id;
     ev.typed_.generation = generation;
+    return ev;
+  }
+
+  [[nodiscard]] static SimEvent fault_action(EventSink& sink,
+                                             std::uint32_t action_index) {
+    SimEvent ev{Kind::kFaultAction, sink};
+    ev.typed_.index = action_index;
     return ev;
   }
 

@@ -11,6 +11,20 @@ namespace arpanet::sim {
 
 EventQueue::EventQueue() : buckets_(kMinBuckets, kNil) {}
 
+void EventQueue::reserve(std::size_t events) {
+  // Capacity only: the live geometry (bucket count, day width) is untouched,
+  // so ordering semantics and resize() accounting stay exactly as they were.
+  const std::size_t nb = std::bit_ceil(
+      std::clamp<std::size_t>(events, kMinBuckets, kMaxBuckets));
+  buckets_.reserve(nb);
+  scratch_.reserve(events);
+  drain_.reserve(events);
+  overflow_.reserve(events);
+  slots_.reserve(events);
+  meta_.reserve(events);
+  free_.reserve(events);
+}
+
 // ARPALINT-HOTPATH-BEGIN
 void EventQueue::schedule(util::SimTime at, SimEvent ev) {
   std::uint32_t slot;

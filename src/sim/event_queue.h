@@ -57,6 +57,13 @@ class EventQueue {
   /// High-water mark of size() over the queue's lifetime (telemetry).
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
 
+  /// Pre-sizes every index structure (slab, freelist, bucket array, drain /
+  /// overflow / relink staging) for a pending population of up to `events`,
+  /// so growth past a power-of-two geometry boundary inside a
+  /// zero-allocation window needs no heap. sim::run_scenario calls this
+  /// with headroom over the warm-up peak before arming its AllocGuard.
+  void reserve(std::size_t events);
+
   /// Earliest pending time. Precondition: !empty(). Not const: it readies
   /// the sorted drain list for the front day, which the following pop()
   /// reuses.

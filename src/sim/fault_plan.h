@@ -1,0 +1,161 @@
+// Deterministic, schedule-driven fault injection.
+//
+// A FaultPlan is a declarative list of faults — link flaps, node
+// crash/restart, regional outages, min-cut partitions, mid-run line-type
+// upgrades — that a scenario applies to an otherwise fault-free run. The
+// plan is compiled once at scenario setup into a flat, time-sorted vector
+// of primitive FaultActions; sim::Network schedules one kFaultAction
+// SimEvent per action through the ordinary calendar queue before the run
+// starts. Nothing about fault dispatch allocates or consults wall-clock
+// state, so golden byte-determinism and the zero-allocation measurement
+// window both survive fault-heavy scenarios.
+//
+// Compilation validates the plan with ARPA_CHECK (death-testable): every
+// fault must name an existing trunk or node, no two faults may hold the
+// same trunk down over overlapping intervals (node and regional faults are
+// expanded to their adjacent trunks first, so cross-kind overlap is caught
+// too), and no action may land past the scenario end.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/line_type.h"
+#include "src/net/topology.h"
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+
+/// The fault families the plan layer models (tentpole list, ISSUE 8).
+enum class FaultKind : std::uint8_t {
+  kLinkFlap,        ///< one trunk down for `dwell`, optionally repeating
+  kNodeCrash,       ///< all trunks touching one node down for `dwell`
+  kRegionalOutage,  ///< all trunks touching a node set down for `dwell`
+  kPartition,       ///< min-cut between two node sets down for `dwell`
+  kLineUpgrade,     ///< trunk swaps line type (rate, metric params) at `at`
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkFlap: return "flap";
+    case FaultKind::kNodeCrash: return "crash";
+    case FaultKind::kRegionalOutage: return "outage";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLineUpgrade: return "upgrade";
+  }
+  return "?";
+}
+
+/// One declared fault, before compilation against a topology.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkFlap;
+  /// Onset of the first (or only) occurrence, relative to scenario start
+  /// (t = 0 is the beginning of warm-up).
+  util::SimTime at;
+  /// How long the affected trunks stay down. Unused by kLineUpgrade.
+  util::SimTime dwell;
+  /// Flap repetition period (onset-to-onset). Zero = single occurrence.
+  util::SimTime period;
+  /// Flap repetitions. With a nonzero period, 0 means "repeat until the
+  /// scenario horizon"; otherwise it must be >= 1.
+  int count = 1;
+  /// Trunk for kLinkFlap / kLineUpgrade: either simplex id names the trunk.
+  net::LinkId link = net::kInvalidLink;
+  /// Node for kNodeCrash.
+  net::NodeId node = net::kInvalidNode;
+  /// Node set for kRegionalOutage.
+  std::vector<net::NodeId> region;
+  /// Node sets for kPartition; the compiled cut severs every min-cut trunk
+  /// separating side_a from side_b.
+  std::vector<net::NodeId> side_a;
+  std::vector<net::NodeId> side_b;
+  /// New line type for kLineUpgrade.
+  net::LineType new_type = net::LineType::kTerrestrial56;
+};
+
+/// One primitive state change, produced by FaultPlan::compile. Actions are
+/// time-sorted; Network schedules them all before the run begins.
+struct FaultAction {
+  enum class Op : std::uint8_t { kLinkDown, kLinkUp, kNodeDown, kNodeUp, kUpgrade };
+  Op op = Op::kLinkDown;
+  util::SimTime at;
+  net::LinkId link = net::kInvalidLink;
+  net::NodeId node = net::kInvalidNode;
+  net::LineType new_type = net::LineType::kTerrestrial56;
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultAction::Op op) {
+  switch (op) {
+    case FaultAction::Op::kLinkDown: return "link-down";
+    case FaultAction::Op::kLinkUp: return "link-up";
+    case FaultAction::Op::kNodeDown: return "node-down";
+    case FaultAction::Op::kNodeUp: return "node-up";
+    case FaultAction::Op::kUpgrade: return "upgrade";
+  }
+  return "?";
+}
+
+/// A deterministic schedule of faults. Built fluently or parsed from the
+/// sweep-friendly string form (see parse()); compiled against a concrete
+/// topology at scenario setup.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Trunk `link` goes down at `at` for `dwell`, repeating every `period`
+  /// (`count` times; count 0 with a period = until the horizon).
+  FaultPlan& flap_link(net::LinkId link, util::SimTime at, util::SimTime dwell,
+                       util::SimTime period = util::SimTime::zero(), int count = 1);
+
+  /// Every trunk touching `node` goes down at `at`, back up at `at + dwell`.
+  FaultPlan& crash_node(net::NodeId node, util::SimTime at, util::SimTime dwell);
+
+  /// Every trunk touching any node in `region` goes down for `dwell`.
+  FaultPlan& regional_outage(std::vector<net::NodeId> region, util::SimTime at,
+                             util::SimTime dwell);
+
+  /// A min-cut set of trunks separating `side_a` from `side_b` goes down at
+  /// `at` and heals at `at + dwell`, splitting the network into (at least)
+  /// two components for the dwell.
+  FaultPlan& partition(std::vector<net::NodeId> side_a, std::vector<net::NodeId> side_b,
+                       util::SimTime at, util::SimTime dwell);
+
+  /// Trunk `link` becomes `new_type` at `at`: both simplex directions get
+  /// the new rate and fresh metric state that eases in from the new type's
+  /// highest cost, exactly like a link restart (paper section 5.4).
+  FaultPlan& upgrade_line(net::LinkId link, util::SimTime at, net::LineType new_type);
+
+  /// Parses the sweep-friendly string form: ';'-separated faults, each
+  /// `kind:key=value,...`. Examples:
+  ///   "flap:link=3,period_s=10,dwell_s=2"
+  ///   "flap:link=2,at_s=24,dwell_s=6"
+  ///   "crash:node=4,at_s=30,dwell_s=10"
+  ///   "outage:nodes=1+2+5,at_s=30,dwell_s=10"
+  ///   "partition:a=0+1+2,b=3+4+5,at_s=30,dwell_s=10"
+  ///   "upgrade:link=1,at_s=60,type=112kb-multitrunk"
+  /// Node/link lists use '+' separators. `at_s` defaults to `period_s`
+  /// when repeating, else 0; `count` defaults to 0 (until horizon) when a
+  /// period is given, else 1. Malformed specs throw std::invalid_argument.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// Expands and validates the plan against `topo` into a time-sorted
+  /// action list. `horizon` is the scenario end (warmup + window); any
+  /// action past it fails validation. Invalid plans abort via ARPA_CHECK:
+  /// nonexistent links/nodes, non-positive dwell, overlapping
+  /// down-intervals on the same trunk (across fault kinds), actions past
+  /// the scenario end, or partition sides that overlap.
+  [[nodiscard]] std::vector<FaultAction> compile(const net::Topology& topo,
+                                                 util::SimTime horizon) const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace arpanet::sim

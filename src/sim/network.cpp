@@ -7,6 +7,7 @@
 
 #include "src/analysis/invariants.h"
 #include "src/metrics/metric_factory.h"
+#include "src/net/line_type.h"
 #include "src/util/check.h"
 
 namespace arpanet::sim {
@@ -53,6 +54,7 @@ Network::Network(const net::Topology& topo, NetworkConfig cfg)
     link_bounds_.push_back(factory_->bounds(l, cfg.line_params));
   }
   last_reported_cost_ = initial;
+  effective_links_.assign(topo.links().begin(), topo.links().end());
   psns_.reserve(topo.node_count());
   for (net::NodeId n = 0; n < topo.node_count(); ++n) {
     psns_.push_back(std::make_unique<Psn>(*this, n, initial));
@@ -115,6 +117,9 @@ void Network::handle_event(SimEvent& ev) {
     case SimEvent::Kind::kDvTick:
       psns_[ev.index()]->dv_tick();
       break;
+    case SimEvent::Kind::kFaultAction:
+      apply_fault(ev.index());
+      break;
     default:
       ARPA_CHECK(false) << "network dispatched unknown event kind "
                         << static_cast<int>(ev.kind());
@@ -127,7 +132,10 @@ void Network::run_until(util::SimTime end) { sim_.run_until(end); }
 
 void Network::reset_stats() {
   stats_ = NetworkStats{};
+  stability_ = StabilityStats{};
   window_start_ = sim_.now();
+  last_fault_at_ = window_start_;
+  last_route_change_at_ = window_start_;
 }
 
 void Network::reserve_stats_until(util::SimTime end) {
@@ -195,7 +203,7 @@ void Network::on_period_measured(net::LinkId link, analysis::Cost previous,
     analysis::check_utilization_in_range(busy_fraction);
     if (hnspf_invariants_ && previous.value() != Psn::kDownLinkCost &&
         candidate.value() != Psn::kDownLinkCost) {
-      const net::Link& l = topo_->link(link);
+      const net::Link& l = effective_links_[link];
       // The exact section 4.3 bound: consecutive periods' costs differ by at
       // most the movement limit, with no threshold slack — HN-SPF limits the
       // candidate against the previous period's value whether or not either
@@ -206,13 +214,24 @@ void Network::on_period_measured(net::LinkId link, analysis::Cost previous,
       ++counters_.invariant_period_checks;
     }
   }
+  if (previous.value() != Psn::kDownLinkCost &&
+      candidate.value() != Psn::kDownLinkCost) {
+    const double movement = std::abs(candidate.value() - previous.value());
+    if (movement > stability_.max_movement) stability_.max_movement = movement;
+    const core::LineTypeParams& params =
+        cfg_.line_params.for_type(effective_links_[link].type);
+    if (movement > analysis::kCostSlack &&
+        busy_fraction.value() <= params.flat_threshold) {
+      ++stability_.flat_oscillations;
+    }
+  }
   if (trace_sink_) {
     trace_sink_->on_utilization(link, sim_.now(), busy_fraction.value());
   }
 }
 
 void Network::deliver_to_peer(net::LinkId link, PacketHandle pkt) {
-  sim_.schedule_in(topo_->link(link).prop_delay,
+  sim_.schedule_in(effective_links_[link].prop_delay,
                    SimEvent::propagation_arrival(*this, link, pkt));
 }
 
@@ -251,6 +270,86 @@ void Network::set_node_up(net::NodeId node, bool up) {
   for (const net::LinkId lid : topo_->out_links(node)) {
     set_trunk_up(lid, up);
   }
+}
+
+bool Network::link_admin_up(net::LinkId link) const {
+  const net::Link& l = topo_->link(link);
+  return psns_[l.from]->link_up(l.id);
+}
+
+void Network::install_faults(const FaultPlan& plan, util::SimTime horizon) {
+  ARPA_CHECK(fault_actions_.empty())
+      << "install_faults may be called at most once per network";
+  fault_actions_ = plan.compile(*topo_, horizon);
+  for (std::uint32_t i = 0; i < fault_actions_.size(); ++i) {
+    const FaultAction& a = fault_actions_[i];
+    if (a.op == FaultAction::Op::kUpgrade) {
+      PreparedUpgrade up;
+      up.action_index = i;
+      up.fwd = effective_links_[a.link];
+      up.fwd.type = a.new_type;
+      up.fwd.rate = net::info(a.new_type).rate;
+      up.rev = effective_links_[up.fwd.reverse];
+      up.rev.type = a.new_type;
+      up.rev.rate = up.fwd.rate;
+      up.fwd_metric = factory_->create(up.fwd, cfg_.line_params);
+      up.rev_metric = factory_->create(up.rev, cfg_.line_params);
+      up.fwd_bounds = factory_->bounds(up.fwd, cfg_.line_params);
+      up.rev_bounds = factory_->bounds(up.rev, cfg_.line_params);
+      prepared_upgrades_.push_back(std::move(up));
+    }
+    sim_.schedule_at(a.at, SimEvent::fault_action(*this, i));
+  }
+  // Two simplex records per applied upgrade; sized here so the mid-window
+  // push_back in apply_upgrade never allocates.
+  upgrades_applied_.reserve(prepared_upgrades_.size() * 2);
+}
+
+void Network::apply_fault(std::uint32_t action_index) {
+  const FaultAction& a = fault_actions_[action_index];
+  switch (a.op) {
+    case FaultAction::Op::kLinkDown:
+      set_trunk_up(a.link, false);
+      break;
+    case FaultAction::Op::kLinkUp:
+      set_trunk_up(a.link, true);
+      break;
+    case FaultAction::Op::kNodeDown:
+      set_node_up(a.node, false);
+      break;
+    case FaultAction::Op::kNodeUp:
+      set_node_up(a.node, true);
+      break;
+    case FaultAction::Op::kUpgrade:
+      apply_upgrade(action_index);
+      break;
+  }
+  ++stability_.faults_applied;
+  last_fault_at_ = sim_.now();
+}
+
+void Network::apply_upgrade(std::uint32_t action_index) {
+  for (PreparedUpgrade& up : prepared_upgrades_) {
+    if (up.action_index != action_index) continue;
+    effective_links_[up.fwd.id] = up.fwd;
+    effective_links_[up.rev.id] = up.rev;
+    link_bounds_[up.fwd.id] = up.fwd_bounds;
+    link_bounds_[up.rev.id] = up.rev_bounds;
+    psns_[up.fwd.from]->upgrade_local_link(up.fwd.id, std::move(up.fwd_metric));
+    psns_[up.rev.from]->upgrade_local_link(up.rev.id, std::move(up.rev_metric));
+    upgrades_applied_.push_back({up.fwd.id, sim_.now(), up.fwd.type});
+    upgrades_applied_.push_back({up.rev.id, sim_.now(), up.rev.type});
+    return;
+  }
+  ARPA_CHECK(false) << "no prepared upgrade for fault action " << action_index;
+}
+
+StabilityStats Network::stability() const {
+  StabilityStats s = stability_;
+  if (s.faults_applied > 0 && last_route_change_at_ >= last_fault_at_) {
+    s.reconverge_sec = (last_route_change_at_ - last_fault_at_).sec();
+  }
+  return s;
 }
 
 obs::Counters Network::counters() const {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "src/obs/trace_sink.h"
 #include "src/routing/routing_table.h"
 #include "src/sim/event.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/packet_pool.h"
 #include "src/sim/packet_trace.h"
 #include "src/sim/update_pool.h"
@@ -109,6 +111,29 @@ struct NetworkStats {
   stats::Summary min_hops;  ///< min-hop length of each delivered packet's pair
   long updates_originated = 0;
   long update_packets_sent = 0;  ///< flooded transmissions (overhead)
+};
+
+/// Routing-stability telemetry for the measurement window (reset with the
+/// other stats after warm-up). The quantities the paper's stability claims
+/// are stated in: how much routes move, how far a cost may jump per update
+/// period, whether the flat region really is flat, and how quickly the
+/// network settles after the last fault transition.
+struct StabilityStats {
+  /// Destinations whose first hop changed, summed over every PSN tree
+  /// update in the window.
+  long route_changes = 0;
+  /// Measurement periods in which a link's cost moved while its utilization
+  /// sat inside the metric's flat region (paper section 4.2: the cost
+  /// should be constant there; movement means decay-in-progress or noise).
+  long flat_oscillations = 0;
+  /// Largest per-period cost movement observed on any up link.
+  double max_movement = 0.0;
+  /// Fault actions dispatched inside the window.
+  long faults_applied = 0;
+  /// Seconds from the window's last fault action to the last first-hop
+  /// change anywhere — the reconvergence time after the final heal. Zero
+  /// when the window saw no fault.
+  double reconverge_sec = 0.0;
 };
 
 class Network : public EventSink {
@@ -198,6 +223,50 @@ class Network : public EventSink {
   /// Takes a trunk (both simplex directions) down or up mid-run.
   void set_trunk_up(net::LinkId link, bool up);
 
+  /// Compiles `plan` against the topology and schedules every resulting
+  /// fault action as a kFaultAction event through the calendar queue.
+  /// `horizon` is the scenario end (warmup + window); the plan must not
+  /// reach past it. Call once, before running: all scheduling (and all
+  /// allocation — line-upgrade metrics are pre-built here) happens up
+  /// front, so fault dispatch inside the measurement window stays on the
+  /// warm slab.
+  void install_faults(const FaultPlan& plan, util::SimTime horizon);
+
+  /// Administrative state of one simplex link (its trunk's state: both
+  /// directions always agree). Distinct from the advertised cost — a down
+  /// link still carries Psn::kDownLinkCost in every map.
+  [[nodiscard]] bool link_admin_up(net::LinkId link) const;
+
+  /// The link record in effect right now: the topology's, unless a
+  /// mid-run line-type upgrade replaced the type and rate (propagation
+  /// delay never changes — trunk mileage is fixed). All rate/params
+  /// lookups on hot paths go through here.
+  [[nodiscard]] const net::Link& effective_link(net::LinkId link) const {
+    return effective_links_[link];
+  }
+
+  /// Routing updates currently in flight (origination slots plus flooded
+  /// copies not yet consumed). Zero means every flooded report has been
+  /// applied at every PSN — the quiescence gate for map-agreement checks.
+  [[nodiscard]] std::size_t updates_in_flight() const { return updates_.in_use(); }
+
+  /// Window stability telemetry; reconverge_sec is derived at call time.
+  [[nodiscard]] StabilityStats stability() const;
+
+  /// One applied line-type upgrade: which simplex link, when, and to what
+  /// type. The audit uses this to pick the right era's movement limits for
+  /// each reported-cost trace step and to skip the restart step across the
+  /// swap itself (section 5.4: an upgraded line eases in from the new
+  /// type's maximum, which is not a per-period movement).
+  struct AppliedUpgrade {
+    net::LinkId link = net::kInvalidLink;
+    util::SimTime at;
+    net::LineType type = net::LineType::kTerrestrial56;
+  };
+  [[nodiscard]] std::span<const AppliedUpgrade> upgrades_applied() const {
+    return upgrades_applied_;
+  }
+
   /// Takes a whole PSN down or up: all its trunks at once (a node crash /
   /// restart). Down nodes still exist in every map; their links carry
   /// Psn::kDownLinkCost so traffic routes around them.
@@ -261,6 +330,14 @@ class Network : public EventSink {
                           analysis::Utilization busy_fraction);
   void deliver_to_peer(net::LinkId link, PacketHandle pkt);
   [[nodiscard]] std::uint64_t next_packet_id() { return ++packet_id_; }
+  /// A batch of spf cost changes moved `delta` destinations' first hops at
+  /// some PSN (stability telemetry; called by Psn after each batch).
+  void on_route_change(long delta) {
+    if (delta > 0) {
+      stability_.route_changes += delta;
+      last_route_change_at_ = sim_.now();
+    }
+  }
 
  private:
   struct Source {
@@ -269,7 +346,22 @@ class Network : public EventSink {
     traffic::PoissonProcess process;
     util::Rng size_rng;
   };
+  /// Resources a line-type upgrade needs, built at install_faults time so
+  /// applying the upgrade mid-window performs no allocation: the new link
+  /// records, the freshly-constructed metrics (moved into the PSNs on
+  /// apply) and the new cost bounds.
+  struct PreparedUpgrade {
+    std::uint32_t action_index = 0;
+    net::Link fwd;
+    net::Link rev;
+    std::unique_ptr<metrics::LinkMetric> fwd_metric;
+    std::unique_ptr<metrics::LinkMetric> rev_metric;
+    std::optional<metrics::CostBounds> fwd_bounds;
+    std::optional<metrics::CostBounds> rev_bounds;
+  };
   void schedule_arrival(std::size_t source_index);
+  void apply_fault(std::uint32_t action_index);
+  void apply_upgrade(std::uint32_t action_index);
 
   const net::Topology* topo_;
   NetworkConfig cfg_;
@@ -298,6 +390,16 @@ class Network : public EventSink {
   std::vector<std::vector<std::pair<util::SimTime, double>>> cost_traces_;
   stats::TimeSeries drops_;
   std::uint64_t packet_id_ = 0;
+  /// Mutable view of the topology's link records (line-type upgrades swap
+  /// type and rate in place); indexed by LinkId like the topology's own.
+  std::vector<net::Link> effective_links_;
+  /// Compiled fault schedule (empty unless install_faults was called).
+  std::vector<FaultAction> fault_actions_;
+  std::vector<PreparedUpgrade> prepared_upgrades_;
+  std::vector<AppliedUpgrade> upgrades_applied_;
+  StabilityStats stability_;
+  util::SimTime last_fault_at_ = util::SimTime::zero();
+  util::SimTime last_route_change_at_ = util::SimTime::zero();
 };
 
 }  // namespace arpanet::sim

@@ -53,6 +53,9 @@ Psn::Psn(Network& net, net::NodeId id, routing::LinkCosts initial_costs)
     out.data_q.reserve(static_cast<std::size_t>(net.config().queue_capacity));
     out.update_q.reserve(topo.node_count());
   }
+  // Sized up front so the first fault-driven origination (which can precede
+  // the first measurement period) already finds warm storage.
+  candidate_scratch_.reserve(out_.size());
 }
 
 void Psn::start() {
@@ -95,6 +98,14 @@ double Psn::reported_cost(net::LinkId out_link) const {
     throw std::out_of_range("link is not an out-link of this PSN");
   }
   return out_[topo.out_pos(out_link)].reported;
+}
+
+bool Psn::link_up(net::LinkId out_link) const {
+  const net::Topology& topo = net_.topology();
+  if (out_link >= topo.link_count() || topo.link(out_link).from != id_) {
+    throw std::out_of_range("link is not an out-link of this PSN");
+  }
+  return out_[topo.out_pos(out_link)].up;
 }
 
 void Psn::originate_data(net::NodeId dst, double bits) {
@@ -195,6 +206,17 @@ void Psn::forward(PacketHandle h) {
 
 void Psn::enqueue(OutLink& out, PacketHandle h, bool priority) {
   const Packet& pkt = net_.packet_pool().at(h);
+  if (!out.up) {
+    // A dead line accepts nothing: whatever is routed or flooded onto it is
+    // lost. Flooded updates are redundant by design and not a charged drop;
+    // data packets count against the line's queue.
+    if (!priority) {
+      net_.trace(TraceEventKind::kDroppedQueue, pkt, id_, out.id);
+      net_.on_queue_drop(pkt);
+    }
+    net_.packet_pool().release(h);
+    return;
+  }
   if (priority) {
     net_.trace(TraceEventKind::kEnqueued, pkt, id_, out.id);
     // ARPALINT-ALLOW(hot-path-alloc): RingQueue retains its power-of-two capacity
@@ -213,6 +235,24 @@ void Psn::enqueue(OutLink& out, PacketHandle h, bool priority) {
   maybe_start_tx(out);
 }
 
+// Empties a dead line's queues: a trunk loses everything it was holding the
+// moment it goes down. Pool releases recycle handles from the freelist, so
+// this stays clean inside the zero-allocation measurement window.
+void Psn::drop_queued(OutLink& out) {
+  PacketPool& pool = net_.packet_pool();
+  while (!out.update_q.empty()) {
+    pool.release(out.update_q.front().pkt);
+    out.update_q.pop_front();
+  }
+  while (!out.data_q.empty()) {
+    const Queued item = out.data_q.front();
+    out.data_q.pop_front();
+    net_.trace(TraceEventKind::kDroppedQueue, pool.at(item.pkt), id_, out.id);
+    net_.on_queue_drop(pool.at(item.pkt));
+    pool.release(item.pkt);
+  }
+}
+
 void Psn::maybe_start_tx(OutLink& out) {
   if (out.busy || !out.up) return;
   RingQueue<Queued>* q = nullptr;
@@ -228,7 +268,8 @@ void Psn::maybe_start_tx(OutLink& out) {
   q->pop_front();
   out.busy = true;
 
-  const net::Link& link = net_.topology().link(out.id);
+  // The effective link record: a mid-run line-type upgrade changes the rate.
+  const net::Link& link = net_.effective_link(out.id);
   const Packet& pkt = net_.packet_pool().at(item.pkt);
   const util::SimTime queue_delay = net_.now() - item.enqueued;
   const util::SimTime tx = link.rate.transmission_time(pkt.bits);
@@ -246,6 +287,18 @@ void Psn::on_transmit_complete(net::LinkId link, util::SimTime queue_delay,
                                util::SimTime tx_time, bool is_update,
                                PacketHandle pkt) {
   OutLink& o = out_for(link);
+  if (!o.up) {
+    // The line died while the packet was serializing onto it: the packet is
+    // lost, and the queues were already drained by set_local_link_up.
+    if (!is_update) {
+      net_.trace(TraceEventKind::kDroppedQueue, net_.packet_pool().at(pkt),
+                 id_, link);
+      net_.on_queue_drop(net_.packet_pool().at(pkt));
+    }
+    net_.packet_pool().release(pkt);
+    o.busy = false;
+    return;
+  }
   o.meas.record_packet(queue_delay, tx_time);
   net_.on_transmission(link, tx_time);
   net_.trace(TraceEventKind::kTransmitted, net_.packet_pool().at(pkt), id_,
@@ -280,9 +333,11 @@ void Psn::handle_update(PacketHandle h, net::LinkId via_link) {
     updates.release(uh);
     return;
   }
+  const long hops_before = spf_.first_hop_changes();
   for (const routing::LinkCostReport& r : update.reports) {
     spf_.set_cost(r.link, r.cost);
   }
+  net_.on_route_change(spf_.first_hop_changes() - hops_before);
   mp_dirty_ = true;
   flood_copies(uh, via_link);
   updates.release(uh);
@@ -322,6 +377,7 @@ void Psn::originate_update(std::span<const double> candidates) {
   routing::RoutingUpdate& update = updates.at(uh);
   update.origin = id_;
   update.seq = ++seq_;
+  const long hops_before = spf_.first_hop_changes();
   for (std::size_t i = 0; i < out_.size(); ++i) {
     OutLink& o = out_[i];
     // Every advertised cost must keep SPF well-defined (positive, finite);
@@ -339,6 +395,7 @@ void Psn::originate_update(std::span<const double> candidates) {
     // latest reports.
     spf_.set_cost(o.id, candidates[i]);
   }
+  net_.on_route_change(spf_.first_hop_changes() - hops_before);
   mp_dirty_ = true;
   ++updates_originated_;
   net_.on_update_originated();
@@ -444,10 +501,14 @@ void Psn::handle_distance_vector(PacketHandle h, net::LinkId via_link) {
   dv_recompute();
 }
 
+// ARPALINT-HOTPATH-BEGIN: fault plans flap links inside the measurement
+// window (flap storms run at 1 Hz); admin-state changes must stay on the
+// warm slab like every other in-window path.
 void Psn::set_local_link_up(net::LinkId out_link, bool up) {
   OutLink& o = out_for(out_link);
   if (o.up == up) return;
   o.up = up;
+  if (!up) drop_queued(o);
   if (net_.config().algorithm == routing::RoutingAlgorithm::kDistanceVector) {
     // No flooded updates in 1969 mode: the change shows up as an
     // unreachable metric in the next table exchanges.
@@ -458,23 +519,56 @@ void Psn::set_local_link_up(net::LinkId out_link, bool up) {
     dv_recompute();
     return;
   }
-  std::vector<double> candidates(out_.size());
+  // Safe to share measurement_period's scratch: both run only as top-level
+  // event handlers and originate_update does not re-enter either.
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
+  candidate_scratch_.assign(out_.size(), 0.0);
   for (std::size_t i = 0; i < out_.size(); ++i) {
-    candidates[i] = out_[i].reported;
+    candidate_scratch_[i] = out_[i].reported;
   }
+  const auto idx = static_cast<std::size_t>(&o - out_.data());
   if (up) {
     o.metric->on_link_up();
     // "When a link comes up it starts with its highest cost" (section 5.4).
-    candidates[static_cast<std::size_t>(&o - out_.data())] = o.metric->initial_cost();
+    candidate_scratch_[idx] = o.metric->initial_cost();
     // The next period's movement is limited against the restart cost, not
     // whatever the link reported before it went down.
     o.last_candidate = o.metric->initial_cost();
     maybe_start_tx(o);
   } else {
-    candidates[static_cast<std::size_t>(&o - out_.data())] = kDownLinkCost;
+    candidate_scratch_[idx] = kDownLinkCost;
     o.last_candidate = kDownLinkCost;
   }
-  originate_update(candidates);
+  originate_update(candidate_scratch_);
 }
+
+void Psn::upgrade_local_link(net::LinkId out_link,
+                             std::unique_ptr<metrics::LinkMetric> metric) {
+  OutLink& o = out_for(out_link);
+  // Network::apply_upgrade already swapped the effective link record, so
+  // the new rate and propagation delay are what the measurement sees.
+  const net::Link& link = net_.effective_link(out_link);
+  o.metric = std::move(metric);
+  o.meas = metrics::DelayMeasurement{link.rate, link.prop_delay};
+  o.filter = make_filter(*o.metric, net_.config().significance_threshold_override);
+  if (!o.up) {
+    // Upgraded while down: keep advertising kDownLinkCost; the new line
+    // eases in when the trunk heals (set_local_link_up's restart path).
+    o.filter.force_report(kDownLinkCost);
+    return;
+  }
+  // A line-type change restarts the link's cost history: advertise the new
+  // type's highest cost and decay in, exactly like a restarted link.
+  const double initial = o.metric->initial_cost();
+  o.last_candidate = initial;
+  // ARPALINT-ALLOW(hot-path-alloc): persistent scratch retains capacity
+  candidate_scratch_.assign(out_.size(), 0.0);
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    candidate_scratch_[i] = out_[i].reported;
+  }
+  candidate_scratch_[static_cast<std::size_t>(&o - out_.data())] = initial;
+  originate_update(candidate_scratch_);
+}
+// ARPALINT-HOTPATH-END
 
 }  // namespace arpanet::sim

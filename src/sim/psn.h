@@ -81,6 +81,18 @@ class Psn {
   /// kDownLinkCost and stop transmitting; on up, the metric eases back in.
   void set_local_link_up(net::LinkId out_link, bool up);
 
+  /// Administrative state of one local outgoing link.
+  [[nodiscard]] bool link_up(net::LinkId out_link) const;
+
+  /// Replaces one local out-link's metric, measurement and filter state
+  /// after a mid-run line-type upgrade (Network::apply_upgrade). The new
+  /// metric is pre-built by the caller so this allocates nothing inside the
+  /// measurement window; if the link is up, the upgraded type's highest
+  /// cost is flooded immediately (the section 5.4 restart rule — a changed
+  /// line eases in exactly like a restarted one).
+  void upgrade_local_link(net::LinkId out_link,
+                          std::unique_ptr<metrics::LinkMetric> metric);
+
   /// Cost advertised for an unusable link: finite (so SPF stays total) but
   /// large enough that no path uses it unless the network is partitioned.
   static constexpr double kDownLinkCost = 1e7;
@@ -120,6 +132,7 @@ class Psn {
 
   void forward(PacketHandle pkt);
   void enqueue(OutLink& out, PacketHandle pkt, bool priority);
+  void drop_queued(OutLink& out);
   void maybe_start_tx(OutLink& out);
   void handle_update(PacketHandle pkt, net::LinkId via_link);
   void originate_update(std::span<const double> candidates);

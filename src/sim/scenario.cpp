@@ -79,6 +79,16 @@ ScenarioConfig& ScenarioConfig::with_topology(net::GraphSpec spec) {
   return *this;
 }
 
+ScenarioConfig& ScenarioConfig::with_faults(FaultPlan plan) {
+  faults = std::move(plan);
+  return *this;
+}
+
+ScenarioConfig& ScenarioConfig::with_faults(std::string_view spec) {
+  faults = FaultPlan::parse(spec);
+  return *this;
+}
+
 ScenarioConfig& ScenarioConfig::with_self_audit(bool enabled) {
   self_audit = enabled;
   return *this;
@@ -137,6 +147,9 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     ncfg.metric = cfg.metric;
     ncfg.seed = cfg.seed;
     Network network{topo, ncfg};
+    if (cfg.faults && !cfg.faults->empty()) {
+      network.install_faults(*cfg.faults, cfg.warmup + cfg.window);
+    }
     network.add_traffic(scenario_matrix(topo, cfg));
     network.run_for(cfg.warmup);
     network.reset_stats();
@@ -147,6 +160,11 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     // the count is reported, not asserted, so debug/sanitizer builds and
     // unusual configs stay valid.
     network.reserve_stats_until(network.now() + cfg.window);
+    // The calendar queue rebuilds its bucket array when the pending
+    // population crosses a power-of-two boundary; fault churn (queue drains,
+    // restart floods) can push the window's peak past anything warm-up saw,
+    // so give the geometry headroom now instead of allocating mid-window.
+    network.simulator().reserve_events(4 * network.simulator().queue_peak_depth());
     std::uint64_t window_alloc_bytes = 0;
     {
       const util::AllocGuard guard;
@@ -159,6 +177,7 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     if (cfg.self_audit) {
       result.audit = analysis::audit_network(network);
     }
+    result.stability = network.stability();
     result.counters = network.counters();
     result.counters.alloc_guard_scopes = 1;
     result.counters.alloc_guard_bytes_peak = window_alloc_bytes;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/analysis/invariants.h"
 #include "src/net/graph_spec.h"
@@ -57,6 +58,10 @@ struct ScenarioConfig {
   /// it through the TopologyBuilder registry. Overloads taking an explicit
   /// Topology ignore it.
   std::optional<net::GraphSpec> topology;
+  /// Deterministic fault schedule (link flaps, crashes, outages, partitions,
+  /// line upgrades) injected through the calendar queue. Compiled against
+  /// the topology at run time; horizon is warmup + window.
+  std::optional<FaultPlan> faults;
   /// Run analysis::audit_network when the measurement window ends: every
   /// reported cost, cost trace and SPF tree is checked against the paper's
   /// invariants, and any violation aborts. Costs one pass over the final
@@ -82,6 +87,11 @@ struct ScenarioConfig {
   /// Validates the spec against the TopologyBuilder registry immediately
   /// (unknown family / bad params throw here, not at run time).
   ScenarioConfig& with_topology(net::GraphSpec spec);
+  ScenarioConfig& with_faults(FaultPlan plan);
+  /// Parses a fault-plan spec string ("flap:link=3,period_s=10,dwell_s=2";
+  /// see FaultPlan::parse) — the sweep-friendly form. Throws
+  /// std::invalid_argument on a malformed spec.
+  ScenarioConfig& with_faults(std::string_view spec);
   ScenarioConfig& with_self_audit(bool enabled);
 
   /// The label a run of this config reports: `label`, or the metric
@@ -104,6 +114,9 @@ struct ScenarioResult {
   obs::Counters counters;
   /// What the end-of-run self-audit covered (all zeros when disabled).
   analysis::AuditStats audit;
+  /// Routing-stability telemetry for the measurement window (all zeros when
+  /// the run had no faults and no route churn).
+  StabilityStats stability;
 
   [[nodiscard]] double events_per_sec() const {
     return wall_seconds > 0 ? static_cast<double>(events_processed) / wall_seconds

@@ -44,6 +44,9 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+  /// Pre-sizes the calendar queue for up to `events` pending events; see
+  /// EventQueue::reserve.
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
   /// High-water mark of the pending-event count (telemetry).
   [[nodiscard]] std::size_t queue_peak_depth() const {
     return queue_.peak_size();

@@ -165,7 +165,7 @@ TEST(BenchCompareTest, RealSmokeBatteryComparesCleanAgainstItself) {
   const std::string again = run_bench_battery("smoke", /*threads=*/1).json();
   const CompareReport r = compare_bench_reports(json, again, opt);
   EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
-  EXPECT_EQ(r.cells.size(), 4u);  // 2 scenarios x 2 metrics
+  EXPECT_EQ(r.cells.size(), 6u);  // 3 scenarios x 2 metrics
   for (const CellDelta& d : r.cells) EXPECT_GT(d.ratio, 0.0);
   EXPECT_EQ(r.micro.size(), 2u);  // hold_near_future + hold_wide_span
   for (const CellDelta& d : r.micro) EXPECT_GT(d.ratio, 0.0);

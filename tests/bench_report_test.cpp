@@ -25,9 +25,9 @@ std::string read_file(const std::string& path) {
 
 TEST(BenchBatteryTest, KnownBatteriesExpandAndUnknownThrows) {
   const auto smoke = bench_battery("smoke");
-  EXPECT_EQ(smoke.size(), 2u);
+  EXPECT_EQ(smoke.size(), 3u);
   const auto full = bench_battery("battery");
-  EXPECT_EQ(full.size(), 3u);
+  EXPECT_EQ(full.size(), 4u);
   for (const BenchScenario& s : full) {
     EXPECT_GT(s.topo.node_count(), 0u);
     EXPECT_GT(s.offered_load_bps, 0.0);
@@ -55,7 +55,7 @@ TEST(MaskWallTimeTest, BlanksExactlyTheWallTimeFields) {
 
 TEST(BenchReportTest, SmokeBatteryValidatesAndMatchesGolden) {
   const BenchReport report = run_bench_battery("smoke", /*threads=*/1);
-  ASSERT_EQ(report.cells.size(), 4u);  // 2 scenarios x {HN-SPF, D-SPF}
+  ASSERT_EQ(report.cells.size(), 6u);  // 3 scenarios x {HN-SPF, D-SPF}
 
   const auto errors = report.validate();
   EXPECT_TRUE(errors.empty()) << "validation failed: " << errors.front();
@@ -67,6 +67,13 @@ TEST(BenchReportTest, SmokeBatteryValidatesAndMatchesGolden) {
     EXPECT_GT(c.counters.spf_incremental, 0u) << c.topology << "/" << c.metric;
     EXPECT_GT(c.counters.spf_skipped, 0u) << c.topology << "/" << c.metric;
     EXPECT_GT(c.events_per_sec(), 0.0) << c.topology << "/" << c.metric;
+    // Schema v5: the stability section is live exactly where faults run.
+    if (c.fault_spec.empty()) {
+      EXPECT_EQ(c.stability_faults_applied, 0) << c.topology << "/" << c.metric;
+    } else {
+      EXPECT_GT(c.stability_faults_applied, 0) << c.topology << "/" << c.metric;
+      EXPECT_GT(c.stability_route_changes, 0) << c.topology << "/" << c.metric;
+    }
   }
 
   const std::string masked = mask_wall_time_fields(report.json());

@@ -176,6 +176,47 @@ TEST(CalendarQueueTest, FifoTieBreakSurvivesAResize) {
   EXPECT_EQ(expected, 100u);
 }
 
+TEST(CalendarQueueTest, SameTickFifoIsKindAgnostic) {
+  // Fault actions ride the same calendar queue as every other event kind; at
+  // a shared tick the pop order is the scheduling order, regardless of kind.
+  // The fault engine's determinism contract (docs/faults.md) rests on this:
+  // a link-down landing on a measurement tick must always dispatch in the
+  // order it was scheduled.
+  EventQueue q;
+  NullSink sink;
+  const SimTime tie = SimTime::from_ms(250);
+  for (std::uint32_t i = 0; i < 90; ++i) {
+    switch (i % 3) {
+      case 0:
+        q.schedule(tie, SimEvent::fault_action(sink, i));
+        break;
+      case 1:
+        q.schedule(tie, SimEvent::host_flow_timeout(sink, i, i, 1));
+        break;
+      default:
+        q.schedule(tie, SimEvent::source_tick(sink, i));
+        break;
+    }
+    // Off-tie fill keeps the bucket array churning between tied inserts.
+    q.schedule(SimTime::from_us(i), SimEvent::measurement_period(sink, 0));
+  }
+  std::uint32_t expected = 0;
+  SimTime at;
+  while (!q.empty()) {
+    const SimEvent ev = q.pop(at);
+    if (at != tie) continue;
+    const SimEvent::Kind want = expected % 3 == 0
+                                    ? SimEvent::Kind::kFaultAction
+                                : expected % 3 == 1
+                                    ? SimEvent::Kind::kHostFlowTimeout
+                                    : SimEvent::Kind::kSourceTick;
+    EXPECT_EQ(ev.kind(), want) << "kind order broken at " << expected;
+    EXPECT_EQ(ev.index(), expected) << "FIFO broken across kinds";
+    ++expected;
+  }
+  EXPECT_EQ(expected, 90u);
+}
+
 TEST(CalendarQueueTest, ReAnchorsAfterDrainingToEmpty) {
   // An idle gap (queue fully drained, next event much later) must re-anchor
   // the window instead of scanning the dead days in between.

@@ -124,6 +124,33 @@ TEST(StressTest, Arpanet87BatteryWindowIsAllocationFree) {
   EXPECT_GT(r.stats.packets_delivered, 10'000);
 }
 
+TEST(StressTest, FlapStormWindowIsAllocationFree) {
+  // The fault engine under fire: a 1 Hz flap storm on one trunk running
+  // through the entire arpanet87 measurement window. Fault actions are
+  // first-class SimEvents and the plan is compiled and pre-sized at install
+  // time, so even a storm keeps the guarded window allocation-free.
+  const auto net87 = net::builders::arpanet87();
+  auto cfg = ScenarioConfig{}
+                 .with_metric(metrics::MetricKind::kHnSpf)
+                 .with_load_bps(600e3)
+                 .with_warmup(SimTime::from_sec(60))
+                 .with_window(SimTime::from_sec(120))
+                 .with_faults("flap:link=0,period_s=1,dwell_s=0.4");
+  const ScenarioResult r = run_scenario(net87.topo, cfg, "flap-storm");
+
+  EXPECT_EQ(r.counters.alloc_guard_scopes, 1u);
+#if defined(NDEBUG) && !defined(ARPANET_TEST_SANITIZED)
+  EXPECT_EQ(r.counters.alloc_guard_bytes_peak, 0u)
+      << "fault injection allocated inside the measurement window; fault "
+         "state must be pre-sized at install time (see docs/faults.md)";
+#else
+  SUCCEED() << "bytes_peak=" << r.counters.alloc_guard_bytes_peak;
+#endif
+  // ~120 down/up pairs land inside the window.
+  EXPECT_GT(r.stability.faults_applied, 100);
+  EXPECT_GT(r.stats.packets_delivered, 10'000);
+}
+
 TEST(StressTest, DelayPercentilesOrdered) {
   const auto net87 = net::builders::arpanet87();
   NetworkConfig cfg;
