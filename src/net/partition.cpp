@@ -1,0 +1,147 @@
+#include "src/net/partition.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace arpanet::net {
+namespace {
+
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+
+/// BFS from `start`, lowering `min_dist` to the distance from the nearest
+/// selected seed. Distances are hop counts; the topology is connected.
+void relax_distances(const Topology& topo, NodeId start,
+                     std::vector<std::uint32_t>& min_dist) {
+  std::deque<NodeId> frontier;
+  std::vector<std::uint32_t> dist(topo.node_count(), kUnassigned);
+  dist[start] = 0;
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId v : topo.out_targets(u)) {
+      if (dist[v] != kUnassigned) continue;
+      dist[v] = dist[u] + 1;
+      frontier.push_back(v);
+    }
+  }
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    min_dist[n] = std::min(min_dist[n], dist[n]);
+  }
+}
+
+/// Farthest-point seed selection: the first seed comes from the RNG seed,
+/// each subsequent seed maximizes the hop distance to all seeds chosen so
+/// far (lowest node id on ties). Spreading seeds apart keeps the grown
+/// regions from colliding early, which is what keeps the edge cut low.
+std::vector<NodeId> select_seeds(const Topology& topo, int shards,
+                                 std::uint64_t seed) {
+  const std::size_t n = topo.node_count();
+  std::vector<NodeId> seeds;
+  seeds.reserve(static_cast<std::size_t>(shards));
+  seeds.push_back(static_cast<NodeId>(seed % n));
+  std::vector<std::uint32_t> min_dist(n, kUnassigned);
+  relax_distances(topo, seeds.back(), min_dist);
+  while (seeds.size() < static_cast<std::size_t>(shards)) {
+    NodeId best = kInvalidNode;
+    std::uint32_t best_dist = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (min_dist[u] > best_dist && min_dist[u] != kUnassigned) {
+        best = u;
+        best_dist = min_dist[u];
+      }
+    }
+    ARPA_CHECK(best != kInvalidNode)
+        << "farthest-point selection ran out of reachable nodes";
+    seeds.push_back(best);
+    relax_distances(topo, best, min_dist);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::size_t Partition::edge_cut(const Topology& topo) const {
+  std::size_t cut = 0;
+  for (const Link& l : topo.links()) {
+    // Count each full-duplex trunk once via its lower-id simplex half.
+    if (l.id < l.reverse && shard_of[l.from] != shard_of[l.to]) ++cut;
+  }
+  return cut;
+}
+
+Partition partition_topology(const Topology& topo, int shards,
+                             std::uint64_t seed) {
+  const std::size_t n = topo.node_count();
+  ARPA_CHECK(shards >= 1) << "partition_topology: shards must be >= 1, got "
+                          << shards;
+  ARPA_CHECK(static_cast<std::size_t>(shards) <= n)
+      << "partition_topology: " << shards << " shards exceed " << n
+      << " nodes";
+
+  Partition part;
+  part.shards = shards;
+  part.shard_of.assign(n, 0);
+  if (shards == 1) return part;
+
+  part.shard_of.assign(n, kUnassigned);
+  const std::vector<NodeId> seeds = select_seeds(topo, shards, seed);
+  const std::size_t cap = (n + static_cast<std::size_t>(shards) - 1) /
+                          static_cast<std::size_t>(shards);
+  std::vector<std::deque<NodeId>> frontier(seeds.size());
+  std::vector<std::size_t> count(seeds.size(), 0);
+  std::size_t assigned = 0;
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    part.shard_of[seeds[k]] = static_cast<std::uint32_t>(k);
+    count[k] = 1;
+    ++assigned;
+    frontier[k].push_back(seeds[k]);
+  }
+
+  // Round-robin growth: each shard claims at most one node per round, so
+  // regions expand at the same rate and the cap keeps them balanced. A
+  // shard whose frontier dries up (or that hit the cap) simply passes.
+  while (assigned < n) {
+    bool progressed = false;
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      if (count[k] >= cap) continue;
+      NodeId claimed = kInvalidNode;
+      while (!frontier[k].empty() && claimed == kInvalidNode) {
+        const NodeId u = frontier[k].front();
+        frontier[k].pop_front();
+        for (const NodeId v : topo.out_targets(u)) {
+          if (part.shard_of[v] != kUnassigned) continue;
+          claimed = v;
+          break;
+        }
+        if (claimed != kInvalidNode) frontier[k].push_front(u);
+      }
+      if (claimed == kInvalidNode) continue;
+      part.shard_of[claimed] = static_cast<std::uint32_t>(k);
+      ++count[k];
+      ++assigned;
+      frontier[k].push_back(claimed);
+      progressed = true;
+    }
+    if (progressed) continue;
+    // Every frontier is exhausted or capped: sweep the stragglers onto the
+    // least-loaded shard (lowest index on ties) so no node stays orphaned.
+    for (NodeId u = 0; u < n && assigned < n; ++u) {
+      if (part.shard_of[u] != kUnassigned) continue;
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < count.size(); ++k) {
+        if (count[k] < count[best]) best = k;
+      }
+      part.shard_of[u] = static_cast<std::uint32_t>(best);
+      ++count[best];
+      ++assigned;
+    }
+  }
+  return part;
+}
+
+}  // namespace arpanet::net

@@ -35,6 +35,12 @@ struct CompareOptions {
   /// demands exact equality; raise it only when comparing across code
   /// changes that intentionally alter the workload.
   double work_noise = 0.0;
+  /// Minimum required wall-time speedup for every multi-shard cell of the
+  /// current document's "shards" section (0 = gate off). Wall time is
+  /// machine-dependent — a single-core runner can never demonstrate a
+  /// speedup — so the gate is opt-in and CI sets a floor suited to its
+  /// runner class rather than the paper target.
+  double min_shard_speedup = 0.0;
 };
 
 /// One cell's throughput comparison.
@@ -54,6 +60,7 @@ struct CompareReport {
   std::vector<CellDelta> cells;
   std::vector<CellDelta> micro;  ///< microbenchmark cells (ops/sec rates)
   std::vector<CellDelta> topo;   ///< large-topology cells (SPF nodes/sec)
+  std::vector<CellDelta> shards; ///< sharded-engine cells (event rates)
   std::vector<std::string> violations;  ///< empty means the check passed
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
@@ -74,7 +81,10 @@ struct CompareReport {
 /// from the same machine class (e.g. the last green CI run), which permits
 /// a much tighter band than the cross-machine committed baseline. Cells
 /// absent from the rates document fall back to the committed baseline's
-/// rate. Throws std::invalid_argument on any unparsable document.
+/// rate. The rates document must also carry the current document's
+/// build_flavor — trending LTO wall times against plain ones (or vice
+/// versa) would alias an optimization-flavor switch as a regression.
+/// Throws std::invalid_argument on any unparsable document.
 [[nodiscard]] CompareReport compare_bench_reports(
     const std::string& baseline_json, const std::string& current_json,
     const std::string& rates_json, const CompareOptions& options = {});

@@ -144,6 +144,10 @@ SimEvent EventQueue::pop(util::SimTime& at) {
   prepare();
   const Entry e = drain_.back();
   drain_.pop_back();
+  // The next pop's slab slot is already known (the new drain back); start
+  // pulling its cache line while this event dispatches — freelist reuse
+  // scatters consecutive pops across the slab, so they rarely share a line.
+  if (!drain_.empty()) __builtin_prefetch(&slots_[drain_.back().slot]);
   at = util::SimTime::from_us(e.at_us);
   SimEvent ev = std::move(slots_[e.slot]);
   // ARPALINT-ALLOW(hot-path-alloc): freelist retains capacity

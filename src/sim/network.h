@@ -12,9 +12,23 @@
 //   net.reset_stats();
 //   net.run_for(util::SimTime::from_sec(600));   // measurement window
 //   auto table1 = net.indicators("HN-SPF");
+//
+// Engine structure: the PSNs are partitioned into cfg.shards shards
+// (src/net/partition.h), each owning its own Simulator/EventQueue, packet
+// and update slabs, and statistics (src/sim/shard.h). run_until executes
+// shards in barrier-synchronized windows of length equal to the minimum
+// propagation delay of any cut trunk (the conservative lookahead): a packet
+// sent across a shard boundary inside one window cannot arrive before the
+// next, so each shard runs a window without ever looking at another
+// shard's queue. Cross-shard arrivals travel through per-shard-pair
+// mailboxes drained in deterministic (time, source shard, sequence) order
+// at window boundaries. With the default shards=1 the same code runs the
+// caller's thread straight through — no second engine, no divergence.
 
 #pragma once
 
+#include <barrier>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -26,14 +40,17 @@
 #include "src/core/line_params.h"
 #include "src/metrics/link_metric.h"
 #include "src/metrics/metric_factory.h"
+#include "src/net/partition.h"
 #include "src/net/topology.h"
 #include "src/obs/counters.h"
 #include "src/obs/trace_sink.h"
 #include "src/routing/routing_table.h"
 #include "src/sim/event.h"
 #include "src/sim/fault_plan.h"
+#include "src/sim/network_stats.h"
 #include "src/sim/packet_pool.h"
 #include "src/sim/packet_trace.h"
+#include "src/sim/shard.h"
 #include "src/sim/update_pool.h"
 #include "src/sim/psn.h"
 #include "src/sim/simulator.h"
@@ -95,45 +112,12 @@ struct NetworkConfig {
   /// ARPA_CHECK. A few comparisons per update origination — leave it on
   /// unless profiling says otherwise.
   bool check_invariants = true;
-};
-
-struct NetworkStats {
-  long packets_generated = 0;
-  long packets_delivered = 0;
-  long packets_dropped_queue = 0;       ///< tail drops (congestion)
-  long packets_dropped_unreachable = 0; ///< no route
-  long packets_dropped_loop = 0;        ///< hop budget exceeded (routing loop)
-  double bits_delivered = 0.0;
-  stats::Summary one_way_delay_ms;
-  /// One-way delay distribution (0-5000 ms, 2 ms bins) for percentiles.
-  stats::Histogram delay_histogram_ms{0.0, 5000.0, 2500};
-  stats::Summary path_hops;
-  stats::Summary min_hops;  ///< min-hop length of each delivered packet's pair
-  long updates_originated = 0;
-  long update_packets_sent = 0;  ///< flooded transmissions (overhead)
-};
-
-/// Routing-stability telemetry for the measurement window (reset with the
-/// other stats after warm-up). The quantities the paper's stability claims
-/// are stated in: how much routes move, how far a cost may jump per update
-/// period, whether the flat region really is flat, and how quickly the
-/// network settles after the last fault transition.
-struct StabilityStats {
-  /// Destinations whose first hop changed, summed over every PSN tree
-  /// update in the window.
-  long route_changes = 0;
-  /// Measurement periods in which a link's cost moved while its utilization
-  /// sat inside the metric's flat region (paper section 4.2: the cost
-  /// should be constant there; movement means decay-in-progress or noise).
-  long flat_oscillations = 0;
-  /// Largest per-period cost movement observed on any up link.
-  double max_movement = 0.0;
-  /// Fault actions dispatched inside the window.
-  long faults_applied = 0;
-  /// Seconds from the window's last fault action to the last first-hop
-  /// change anywhere — the reconvergence time after the final heal. Zero
-  /// when the window saw no fault.
-  double reconverge_sec = 0.0;
+  /// Simulation shards (worker threads) for one network. 1 (the default)
+  /// runs single-threaded on the caller's thread. K>1 partitions the PSNs
+  /// into K BFS-grown regions and requires every cross-shard trunk to have
+  /// nonzero propagation delay (the conservative lookahead). Tracing and
+  /// delivery hooks require shards == 1.
+  int shards = 1;
 };
 
 class Network : public EventSink {
@@ -154,24 +138,25 @@ class Network : public EventSink {
   void stop_traffic() { traffic_enabled_ = false; }
 
   /// Called (after statistics) for every delivered data packet. Used by
-  /// host-level layers (sim/host_flow.h); one hook at a time.
+  /// host-level layers (sim/host_flow.h); one hook at a time. shards=1 only.
   void set_delivery_hook(std::function<void(const Packet&)> hook) {
     delivery_hook_ = std::move(hook);
   }
 
   /// Attaches a packet tracer (nullptr detaches). The tracer must outlive
   /// the run; recording costs one branch per event when detached.
+  /// shards=1 only.
   void attach_tracer(PacketTracer* tracer) { tracer_ = tracer; }
 
   /// Attaches a per-link observability sink receiving every reported cost
   /// and each link's per-period busy fraction (nullptr detaches). Same
-  /// lifetime/cost contract as attach_tracer.
+  /// lifetime/cost contract as attach_tracer. shards=1 only.
   void attach_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
 
   /// Psn-side tracing entry point.
   void trace(TraceEventKind kind, const Packet& pkt, net::NodeId node,
              net::LinkId link = net::kInvalidLink) {
-    if (tracer_) tracer_->record(sim_.now(), kind, pkt.id, node, link);
+    if (tracer_) tracer_->record(now(), kind, pkt.id, node, link);
   }
 
   void run_for(util::SimTime duration);
@@ -181,15 +166,19 @@ class Network : public EventSink {
   /// warm-up).
   void reset_stats();
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Network-wide window statistics; with shards>1 this is a merge of the
+  /// per-shard aggregates, rebuilt on each call (post-run reads only).
+  [[nodiscard]] const NetworkStats& stats() const;
   [[nodiscard]] util::SimTime window_length() const {
-    return sim_.now() - window_start_;
+    return shards_.front()->sim.now() - window_start_;
   }
   [[nodiscard]] stats::NetworkIndicators indicators(std::string label) const;
 
   /// Whole-run telemetry snapshot: live counters merged with per-PSN SPF
-  /// work and the event engine's totals. Unlike stats(), never reset by
-  /// reset_stats() — values cover the network's lifetime including warm-up.
+  /// work and every shard's event-engine totals. Unlike stats(), never
+  /// reset by reset_stats() — values cover the network's lifetime including
+  /// warm-up. Monotonic counts sum across shards; capacity/peak gauges take
+  /// the per-shard maximum.
   [[nodiscard]] obs::Counters counters() const;
 
   [[nodiscard]] const net::Topology& topology() const { return *topo_; }
@@ -198,8 +187,24 @@ class Network : public EventSink {
   [[nodiscard]] const metrics::MetricFactory& metric_factory() const {
     return *factory_;
   }
-  [[nodiscard]] Simulator& simulator() { return sim_; }
-  [[nodiscard]] util::SimTime now() const { return sim_.now(); }
+  /// The calling context's simulator: a shard worker gets its own shard's
+  /// engine; outside a run this is shard 0 (with shards=1, the only one).
+  [[nodiscard]] Simulator& simulator() { return current_shard().sim; }
+  [[nodiscard]] util::SimTime now() const { return current_shard().sim.now(); }
+
+  /// Events processed across all shards over the network's lifetime.
+  [[nodiscard]] std::uint64_t events_processed() const;
+  /// Pre-sizes every shard's calendar queue to 4x its observed peak depth,
+  /// so a measurement window after warm-up schedules into existing storage.
+  void reserve_event_headroom();
+
+  /// Number of simulation shards (== config().shards).
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// The node-to-shard assignment in effect.
+  [[nodiscard]] const net::Partition& partition() const { return part_; }
+  /// The conservative sync window: minimum propagation delay over trunks
+  /// crossing a shard boundary. Zero when shards == 1 (never synced).
+  [[nodiscard]] util::SimTime lookahead() const { return lookahead_; }
 
   [[nodiscard]] const Psn& psn(net::NodeId id) const { return *psns_.at(id); }
   [[nodiscard]] Psn& psn(net::NodeId id) { return *psns_.at(id); }
@@ -217,19 +222,20 @@ class Network : public EventSink {
     return cost_traces_.at(id);
   }
 
-  /// Drops per stats bucket (fig. 13's quantity).
-  [[nodiscard]] const stats::TimeSeries& drop_series() const { return drops_; }
+  /// Drops per stats bucket (fig. 13's quantity); merged across shards.
+  [[nodiscard]] const stats::TimeSeries& drop_series() const;
 
   /// Takes a trunk (both simplex directions) down or up mid-run.
   void set_trunk_up(net::LinkId link, bool up);
 
   /// Compiles `plan` against the topology and schedules every resulting
-  /// fault action as a kFaultAction event through the calendar queue.
-  /// `horizon` is the scenario end (warmup + window); the plan must not
-  /// reach past it. Call once, before running: all scheduling (and all
-  /// allocation — line-upgrade metrics are pre-built here) happens up
-  /// front, so fault dispatch inside the measurement window stays on the
-  /// warm slab.
+  /// fault action as a kFaultAction event through the owning shard's
+  /// calendar queue (an action touching links on two shards dispatches on
+  /// both, each applying only its own half). `horizon` is the scenario end
+  /// (warmup + window); the plan must not reach past it. Call once, before
+  /// running: all scheduling (and all allocation — line-upgrade metrics are
+  /// pre-built here) happens up front, so fault dispatch inside the
+  /// measurement window stays on the warm slab.
   void install_faults(const FaultPlan& plan, util::SimTime horizon);
 
   /// Administrative state of one simplex link (its trunk's state: both
@@ -239,33 +245,28 @@ class Network : public EventSink {
 
   /// The link record in effect right now: the topology's, unless a
   /// mid-run line-type upgrade replaced the type and rate (propagation
-  /// delay never changes — trunk mileage is fixed). All rate/params
-  /// lookups on hot paths go through here.
+  /// delay never changes — trunk mileage is fixed, and the sharded
+  /// engine's lookahead depends on it). All rate/params lookups on hot
+  /// paths go through here.
   [[nodiscard]] const net::Link& effective_link(net::LinkId link) const {
     return effective_links_[link];
   }
 
   /// Routing updates currently in flight (origination slots plus flooded
-  /// copies not yet consumed). Zero means every flooded report has been
-  /// applied at every PSN — the quiescence gate for map-agreement checks.
-  [[nodiscard]] std::size_t updates_in_flight() const { return updates_.in_use(); }
+  /// copies not yet consumed), summed across shards. Zero means every
+  /// flooded report has been applied at every PSN — the quiescence gate for
+  /// map-agreement checks. Mailboxes are always drained by the time
+  /// run_until returns, so nothing hides between shards.
+  [[nodiscard]] std::size_t updates_in_flight() const;
 
-  /// Window stability telemetry; reconverge_sec is derived at call time.
+  /// Window stability telemetry; reconverge_sec is derived at call time
+  /// from the latest fault/route-change timestamps across shards.
   [[nodiscard]] StabilityStats stability() const;
 
-  /// One applied line-type upgrade: which simplex link, when, and to what
-  /// type. The audit uses this to pick the right era's movement limits for
-  /// each reported-cost trace step and to skip the restart step across the
-  /// swap itself (section 5.4: an upgraded line eases in from the new
-  /// type's maximum, which is not a per-period movement).
-  struct AppliedUpgrade {
-    net::LinkId link = net::kInvalidLink;
-    util::SimTime at;
-    net::LineType type = net::LineType::kTerrestrial56;
-  };
-  [[nodiscard]] std::span<const AppliedUpgrade> upgrades_applied() const {
-    return upgrades_applied_;
-  }
+  using AppliedUpgrade = ::arpanet::sim::AppliedUpgrade;
+  /// Applied line-type upgrades in time order (stable across equal times,
+  /// forward half before reverse), merged across shards.
+  [[nodiscard]] std::span<const AppliedUpgrade> upgrades_applied() const;
 
   /// Takes a whole PSN down or up: all its trunks at once (a node crash /
   /// restart). Down nodes still exist in every map; their links carry
@@ -287,31 +288,33 @@ class Network : public EventSink {
   }
 
   // ---- callbacks from Psn (not for external use) ----
-  void on_generated() { ++stats_.packets_generated; }
+  void on_generated() { ++current_shard().stats.packets_generated; }
   void on_delivered(const Packet& pkt);
   void on_queue_drop(const Packet& pkt);
   void on_unreachable_drop(const Packet& pkt);
   void on_loop_drop(const Packet& pkt);
   void on_update_originated() {
-    ++stats_.updates_originated;
-    ++counters_.updates_originated;
+    Shard& sh = current_shard();
+    ++sh.stats.updates_originated;
+    ++sh.counters.updates_originated;
   }
   void on_update_packet_sent() {
-    ++stats_.update_packets_sent;
-    ++counters_.update_packets_sent;
+    Shard& sh = current_shard();
+    ++sh.stats.update_packets_sent;
+    ++sh.counters.update_packets_sent;
   }
-  void on_data_packet_sent() { ++counters_.packets_forwarded; }
+  void on_data_packet_sent() { ++current_shard().counters.packets_forwarded; }
   void on_transmission(net::LinkId link, util::SimTime busy);
   void on_cost_reported(net::LinkId link, double cost);
   /// Typed-event dispatch (sim/event.h): source ticks, propagation
   /// arrivals, transmit completions and the per-node timers all route
   /// through here — one switch, no per-event allocation.
   void handle_event(SimEvent& ev) override;
-  /// The pooled packet slab every in-flight packet lives in; hot paths pass
-  /// PacketHandle indices instead of moving Packet structs.
-  [[nodiscard]] PacketPool& packet_pool() { return pool_; }
-  /// The refcounted routing-update slab flooded packets share slots in.
-  [[nodiscard]] UpdatePool& update_pool() { return updates_; }
+  /// The calling shard's pooled packet slab; hot paths pass PacketHandle
+  /// indices instead of moving Packet structs.
+  [[nodiscard]] PacketPool& packet_pool() { return current_shard().pool; }
+  /// The calling shard's refcounted routing-update slab.
+  [[nodiscard]] UpdatePool& update_pool() { return current_shard().updates; }
   /// Pre-extends the bucketed statistics series (per-link utilization,
   /// drops) to cover sim time up to `end`, so recording during a
   /// measurement window that ends by then allocates nothing. Call before
@@ -328,14 +331,23 @@ class Network : public EventSink {
   void on_period_measured(net::LinkId link, analysis::Cost previous,
                           analysis::Cost candidate,
                           analysis::Utilization busy_fraction);
+  /// Hands a transmitted packet to the link's far end. Same-shard links
+  /// schedule the arrival directly; cross-shard links copy the packet into
+  /// the destination shard's mailbox, to be drained at the next window
+  /// boundary (the conservative lookahead guarantees that boundary is at or
+  /// before the arrival time).
   void deliver_to_peer(net::LinkId link, PacketHandle pkt);
-  [[nodiscard]] std::uint64_t next_packet_id() { return ++packet_id_; }
+  [[nodiscard]] std::uint64_t next_packet_id() {
+    Shard& sh = current_shard();
+    return (static_cast<std::uint64_t>(sh.index) << 48) | ++sh.packet_seq;
+  }
   /// A batch of spf cost changes moved `delta` destinations' first hops at
   /// some PSN (stability telemetry; called by Psn after each batch).
   void on_route_change(long delta) {
     if (delta > 0) {
-      stability_.route_changes += delta;
-      last_route_change_at_ = sim_.now();
+      Shard& sh = current_shard();
+      sh.stability.route_changes += delta;
+      sh.last_route_change_at = sh.sim.now();
     }
   }
 
@@ -349,7 +361,9 @@ class Network : public EventSink {
   /// Resources a line-type upgrade needs, built at install_faults time so
   /// applying the upgrade mid-window performs no allocation: the new link
   /// records, the freshly-constructed metrics (moved into the PSNs on
-  /// apply) and the new cost bounds.
+  /// apply) and the new cost bounds. The forward and reverse halves apply
+  /// independently (possibly on different shards), each touching only
+  /// state its own shard owns.
   struct PreparedUpgrade {
     std::uint32_t action_index = 0;
     net::Link fwd;
@@ -359,28 +373,62 @@ class Network : public EventSink {
     std::optional<metrics::CostBounds> fwd_bounds;
     std::optional<metrics::CostBounds> rev_bounds;
   };
+
+  /// Which shard the calling thread is executing for: inside a run each
+  /// worker pins itself via ShardScope; any other context (setup, tests,
+  /// post-run reads) resolves to shard 0, which with shards=1 is exactly
+  /// the old single-engine behaviour.
+  struct Tls {
+    const Network* net = nullptr;
+    Shard* shard = nullptr;
+  };
+  class ShardScope {
+   public:
+    ShardScope(const Network& net, Shard& shard) : prev_{tls_} {
+      tls_ = Tls{&net, &shard};
+    }
+    ~ShardScope() { tls_ = prev_; }
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    Tls prev_;
+  };
+  [[nodiscard]] Shard& current_shard() const {
+    return tls_.net == this ? *tls_.shard : *shards_.front();
+  }
+  [[nodiscard]] Shard& shard_of_node(net::NodeId n) const {
+    return *shards_[part_.shard_of[n]];
+  }
+
   void schedule_arrival(std::size_t source_index);
-  void apply_fault(std::uint32_t action_index);
-  void apply_upgrade(std::uint32_t action_index);
+  void apply_fault(Shard& sh, std::uint32_t shard_action_index);
+  void apply_upgrade_half(Shard& sh, const ShardFaultOp& op);
+  /// Moves every message addressed to `sh` from the other shards' outboxes
+  /// into sh's queue, in (arrival time, source shard, send order) order.
+  void drain_mailboxes(Shard& sh);
+  void run_window_loop(Shard& sh, util::SimTime end, std::barrier<>& sync);
+
+  static thread_local Tls tls_;
 
   const net::Topology* topo_;
   NetworkConfig cfg_;
   std::shared_ptr<const metrics::MetricFactory> factory_;
-  Simulator sim_;
-  PacketPool pool_;
-  UpdatePool updates_;
+  net::Partition part_;
+  /// Per-shard engines; shards_[0] doubles as the external-context default.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::SimTime lookahead_ = util::SimTime::zero();
   util::Rng rng_;
   traffic::PacketSizer sizer_;
   std::vector<std::unique_ptr<Psn>> psns_;
   std::vector<std::unique_ptr<Source>> sources_;
   std::vector<std::vector<int>> min_hop_table_;
-  NetworkStats stats_;
   std::function<void(const Packet&)> delivery_hook_;
   PacketTracer* tracer_ = nullptr;
   obs::TraceSink* trace_sink_ = nullptr;
-  /// Live counters; SPF and event-engine fields are merged in counters().
-  obs::Counters counters_;
   /// Per-link cost bounds promised by the factory (nullopt = unbounded).
+  /// Written only by the owning (from-node) shard, like every per-link
+  /// record below.
   std::vector<std::optional<metrics::CostBounds>> link_bounds_;
   bool traffic_enabled_ = true;
   util::SimTime window_start_ = util::SimTime::zero();
@@ -388,18 +436,18 @@ class Network : public EventSink {
   std::vector<double> last_reported_cost_;
   bool hnspf_invariants_ = false;  ///< HN-SPF semantics known for all links
   std::vector<std::vector<std::pair<util::SimTime, double>>> cost_traces_;
-  stats::TimeSeries drops_;
-  std::uint64_t packet_id_ = 0;
   /// Mutable view of the topology's link records (line-type upgrades swap
   /// type and rate in place); indexed by LinkId like the topology's own.
   std::vector<net::Link> effective_links_;
   /// Compiled fault schedule (empty unless install_faults was called).
   std::vector<FaultAction> fault_actions_;
   std::vector<PreparedUpgrade> prepared_upgrades_;
-  std::vector<AppliedUpgrade> upgrades_applied_;
-  StabilityStats stability_;
-  util::SimTime last_fault_at_ = util::SimTime::zero();
-  util::SimTime last_route_change_at_ = util::SimTime::zero();
+  // Merge-on-demand caches for the cross-shard read accessors. Rebuilt on
+  // every call when shards > 1; with one shard the accessors return the
+  // shard's own aggregate and never touch these.
+  mutable NetworkStats merged_stats_;
+  mutable stats::TimeSeries merged_drops_;
+  mutable std::vector<AppliedUpgrade> merged_upgrades_;
 };
 
 }  // namespace arpanet::sim

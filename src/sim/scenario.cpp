@@ -164,7 +164,7 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     // population crosses a power-of-two boundary; fault churn (queue drains,
     // restart floods) can push the window's peak past anything warm-up saw,
     // so give the geometry headroom now instead of allocating mid-window.
-    network.simulator().reserve_events(4 * network.simulator().queue_peak_depth());
+    network.reserve_event_headroom();
     std::uint64_t window_alloc_bytes = 0;
     {
       const util::AllocGuard guard;
@@ -181,7 +181,7 @@ ScenarioResult run_scenario(const net::Topology& topo, const ScenarioConfig& cfg
     result.counters = network.counters();
     result.counters.alloc_guard_scopes = 1;
     result.counters.alloc_guard_bytes_peak = window_alloc_bytes;
-    result.events_processed = network.simulator().events_processed();
+    result.events_processed = network.events_processed();
   }
   return result;
 }

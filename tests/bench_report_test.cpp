@@ -76,6 +76,15 @@ TEST(BenchReportTest, SmokeBatteryValidatesAndMatchesGolden) {
     }
   }
 
+  // Schema v6: the shard-scaling section runs the same scenario at K=1 and
+  // K=4 and must report the identical event total for both — the sharded
+  // engine's equivalence contract, pinned here and in validate().
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.shards[0].shards, 1);
+  EXPECT_EQ(report.shards[1].shards, 4);
+  EXPECT_EQ(report.shards[0].events, report.shards[1].events);
+  EXPECT_GT(report.shards[0].events, 0u);
+
   const std::string masked = mask_wall_time_fields(report.json());
   const std::string golden =
       read_file(std::string{GOLDEN_DIR} + "/bench_smoke.json");

@@ -1,0 +1,120 @@
+// Partitioner contract tests (src/net/partition.h): determinism for a fixed
+// (spec, seed, K), non-empty shards, an edge cut no worse than round-robin
+// on the structured generator families, and hard failure on impossible
+// shard counts. The sharded engine's reproducibility rests on the first
+// property and its lookahead quality on the third.
+
+#include "src/net/partition.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/builders/registry.h"
+#include "src/net/graph_spec.h"
+#include "src/net/topology.h"
+
+namespace arpanet::net {
+namespace {
+
+Topology build(const GraphSpec& spec) {
+  return TopologyBuilder::registry().build(spec);
+}
+
+Partition round_robin(const Topology& topo, int shards) {
+  Partition part;
+  part.shards = shards;
+  part.shard_of.resize(topo.node_count());
+  for (NodeId v = 0; v < topo.node_count(); ++v) {
+    part.shard_of[v] = static_cast<std::uint32_t>(v % static_cast<NodeId>(shards));
+  }
+  return part;
+}
+
+std::vector<std::size_t> shard_sizes(const Partition& part) {
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(part.shards), 0);
+  for (const std::uint32_t s : part.shard_of) ++sizes[s];
+  return sizes;
+}
+
+TEST(PartitionTest, DeterministicForFixedSpecSeedAndShardCount) {
+  const Topology topo = build(GraphSpec{"hier-as"}.with_nodes(300).with_seed(7));
+  for (const int k : {1, 2, 4, 7}) {
+    const Partition a = partition_topology(topo, k, 1987);
+    const Partition b = partition_topology(topo, k, 1987);
+    EXPECT_EQ(a.shard_of, b.shard_of) << "k=" << k;
+  }
+  // A different seed may move the regions, but stays deterministic too.
+  const Partition c = partition_topology(topo, 4, 42);
+  const Partition d = partition_topology(topo, 4, 42);
+  EXPECT_EQ(c.shard_of, d.shard_of);
+}
+
+TEST(PartitionTest, EveryShardNonEmptyAndEveryNodeAssigned) {
+  const GraphSpec specs[] = {
+      GraphSpec{"hier-as"}.with_nodes(300).with_seed(7),
+      GraphSpec{"waxman"}.with_nodes(120).with_seed(7),
+      GraphSpec{"fat-tree"}.with_nodes(80),
+      GraphSpec{"leo-grid"}.with_nodes(64),
+  };
+  for (const GraphSpec& spec : specs) {
+    const Topology topo = build(spec);
+    for (const int k : {1, 2, 4, 8}) {
+      const Partition part = partition_topology(topo, k, 1987);
+      ASSERT_EQ(part.shard_of.size(), topo.node_count());
+      const std::vector<std::size_t> sizes = shard_sizes(part);
+      for (int s = 0; s < k; ++s) {
+        EXPECT_GT(sizes[static_cast<std::size_t>(s)], 0u)
+            << spec.family() << " k=" << k << " shard " << s;
+      }
+      for (const std::uint32_t s : part.shard_of) {
+        EXPECT_LT(s, static_cast<std::uint32_t>(k));
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, RegionsStayBalancedWithinCeilingCap) {
+  const Topology topo = build(GraphSpec{"hier-as"}.with_nodes(300).with_seed(7));
+  for (const int k : {2, 4, 8}) {
+    const Partition part = partition_topology(topo, k, 1987);
+    const std::size_t cap =
+        (topo.node_count() + static_cast<std::size_t>(k) - 1) /
+        static_cast<std::size_t>(k);
+    for (const std::size_t size : shard_sizes(part)) {
+      EXPECT_LE(size, cap) << "k=" << k;
+    }
+  }
+}
+
+TEST(PartitionTest, EdgeCutNoWorseThanRoundRobinOnStructuredFamilies) {
+  const GraphSpec specs[] = {
+      GraphSpec{"hier-as"}.with_nodes(300).with_seed(7),
+      GraphSpec{"fat-tree"}.with_nodes(80),
+  };
+  for (const GraphSpec& spec : specs) {
+    const Topology topo = build(spec);
+    for (const int k : {2, 4}) {
+      const Partition bfs = partition_topology(topo, k, 1987);
+      const Partition rr = round_robin(topo, k);
+      EXPECT_LE(bfs.edge_cut(topo), rr.edge_cut(topo))
+          << spec.family() << " k=" << k;
+    }
+  }
+}
+
+TEST(PartitionTest, SingleShardCutsNothing) {
+  const Topology topo = build(GraphSpec{"leo-grid"}.with_nodes(64));
+  const Partition part = partition_topology(topo, 1, 1987);
+  EXPECT_EQ(part.edge_cut(topo), 0u);
+}
+
+TEST(PartitionDeathTest, MoreShardsThanNodesAborts) {
+  const Topology topo = build(GraphSpec{"leo-grid"}.with_nodes(64));
+  EXPECT_DEATH((void)partition_topology(topo, 65, 1987), "exceed");
+  EXPECT_DEATH((void)partition_topology(topo, 0, 1987), "shards");
+}
+
+}  // namespace
+}  // namespace arpanet::net

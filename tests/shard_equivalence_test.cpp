@@ -1,0 +1,144 @@
+// The sharded engine's headline contract: running one network at K=1 and
+// K=4 produces the SAME simulation — identical per-PSN routing state,
+// identical per-link reported costs, identical integer packet totals and
+// stability telemetry — with faults active (a trunk flap and a mid-run
+// line-type upgrade). The conservative lookahead plus the deterministic
+// mailbox drain order make the parallel run a reordering of the same event
+// set, not an approximation of it.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/builders/registry.h"
+#include "src/net/graph_spec.h"
+#include "src/net/topology.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/network.h"
+#include "src/traffic/traffic_matrix.h"
+#include "src/util/units.h"
+
+namespace arpanet::sim {
+namespace {
+
+using util::SimTime;
+
+// Everything worth comparing, in exactly-representable quantities: link
+// ids, longs, and doubles that are produced by identical single operations
+// (reported costs, max over movements) rather than cross-shard summation —
+// summing doubles in a different order is the one place the merge may
+// legitimately differ in the last ulp, so bits_delivered and the delay
+// summaries stay out of the fingerprint.
+struct Fingerprint {
+  std::vector<net::LinkId> first_hops;  ///< per (node, dst), flattened
+  std::vector<double> reported_costs;   ///< per link
+  long generated = 0;
+  long delivered = 0;
+  long dropped_queue = 0;
+  long dropped_unreachable = 0;
+  long dropped_loop = 0;
+  long updates_originated = 0;
+  long update_packets_sent = 0;
+  StabilityStats stability;
+  long upgrades = 0;
+};
+
+Fingerprint run_with_shards(int shards) {
+  const net::Topology topo = net::TopologyBuilder::registry().build(
+      net::GraphSpec{"waxman"}.with_nodes(48).with_seed(7));
+
+  NetworkConfig cfg;
+  cfg.shards = shards;
+  Network net{topo, cfg};
+
+  const SimTime warmup = SimTime::from_sec(30);
+  const SimTime window = SimTime::from_sec(60);
+
+  FaultPlan plan;
+  plan.flap_link(2, warmup + SimTime::from_sec(10), SimTime::from_sec(8));
+  plan.upgrade_line(6, warmup + SimTime::from_sec(25),
+                    net::LineType::kMultiTrunk112);
+  net.install_faults(plan, warmup + window);
+
+  net.add_traffic(
+      traffic::TrafficMatrix::uniform(topo.node_count(), 600e3));
+  net.run_for(warmup);
+  net.reset_stats();
+  net.run_for(window);
+
+  // Drain: no new packets, run until every flooded update has been consumed
+  // everywhere, so the routing state compared below is the settled one.
+  net.stop_traffic();
+  for (int i = 0; i < 30 && net.updates_in_flight() > 0; ++i) {
+    net.run_for(SimTime::from_sec(5));
+  }
+  EXPECT_EQ(net.updates_in_flight(), 0u) << "shards=" << shards;
+
+  Fingerprint fp;
+  for (net::NodeId v = 0; v < static_cast<net::NodeId>(topo.node_count());
+       ++v) {
+    const auto& hops = net.psn(v).tree().first_hop;
+    fp.first_hops.insert(fp.first_hops.end(), hops.begin(), hops.end());
+  }
+  for (net::LinkId l = 0; l < static_cast<net::LinkId>(topo.link_count());
+       ++l) {
+    fp.reported_costs.push_back(net.last_reported_cost(l));
+  }
+  const NetworkStats& st = net.stats();
+  fp.generated = st.packets_generated;
+  fp.delivered = st.packets_delivered;
+  fp.dropped_queue = st.packets_dropped_queue;
+  fp.dropped_unreachable = st.packets_dropped_unreachable;
+  fp.dropped_loop = st.packets_dropped_loop;
+  fp.updates_originated = st.updates_originated;
+  fp.update_packets_sent = st.update_packets_sent;
+  fp.stability = net.stability();
+  fp.upgrades = static_cast<long>(net.upgrades_applied().size());
+  return fp;
+}
+
+TEST(ShardEquivalenceTest, FourShardsMatchSingleShardUnderFaults) {
+  const Fingerprint one = run_with_shards(1);
+  const Fingerprint four = run_with_shards(4);
+
+  EXPECT_EQ(one.first_hops, four.first_hops);
+  // Reported costs are produced by the same metric arithmetic on the same
+  // measured periods in both runs — bitwise equality, not tolerance.
+  ASSERT_EQ(one.reported_costs.size(), four.reported_costs.size());
+  for (std::size_t l = 0; l < one.reported_costs.size(); ++l) {
+    EXPECT_EQ(one.reported_costs[l], four.reported_costs[l]) << "link " << l;
+  }
+
+  EXPECT_GT(one.generated, 0);
+  EXPECT_EQ(one.generated, four.generated);
+  EXPECT_EQ(one.delivered, four.delivered);
+  EXPECT_EQ(one.dropped_queue, four.dropped_queue);
+  EXPECT_EQ(one.dropped_unreachable, four.dropped_unreachable);
+  EXPECT_EQ(one.dropped_loop, four.dropped_loop);
+  EXPECT_GT(one.updates_originated, 0);
+  EXPECT_EQ(one.updates_originated, four.updates_originated);
+  EXPECT_EQ(one.update_packets_sent, four.update_packets_sent);
+
+  EXPECT_EQ(one.stability.route_changes, four.stability.route_changes);
+  EXPECT_EQ(one.stability.flat_oscillations, four.stability.flat_oscillations);
+  EXPECT_EQ(one.stability.max_movement, four.stability.max_movement);
+  EXPECT_EQ(one.stability.faults_applied, four.stability.faults_applied);
+  EXPECT_EQ(one.stability.reconverge_sec, four.stability.reconverge_sec);
+  // Both halves of the one upgraded trunk, in both runs.
+  EXPECT_EQ(one.upgrades, 2);
+  EXPECT_EQ(four.upgrades, 2);
+}
+
+TEST(ShardEquivalenceTest, TwoShardsMatchSingleShardUnderFaults) {
+  const Fingerprint one = run_with_shards(1);
+  const Fingerprint two = run_with_shards(2);
+  EXPECT_EQ(one.first_hops, two.first_hops);
+  EXPECT_EQ(one.generated, two.generated);
+  EXPECT_EQ(one.delivered, two.delivered);
+  EXPECT_EQ(one.updates_originated, two.updates_originated);
+  EXPECT_EQ(one.stability.route_changes, two.stability.route_changes);
+}
+
+}  // namespace
+}  // namespace arpanet::sim
